@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation: replacement policy and LLC indexing function.
+ *
+ * §3.2 attributes the absence of sharp working-set knees on real
+ * hardware to pseudo-LRU replacement and randomized LLC indexing
+ * (among other effects). This ablation reruns the LLC-sensitivity
+ * sweep for a knee-prone application under exact LRU / bit-PLRU / NRU
+ * / random replacement, with modulo and hashed indexing, to show how
+ * much each mechanism smooths the curve.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "workload/catalog.hh"
+
+using namespace capart;
+using namespace capart::bench;
+
+namespace
+{
+
+std::vector<double>
+curveWith(const AppParams &app, ReplPolicy repl, IndexFn index,
+          const BenchOptions &opts)
+{
+    std::vector<double> times;
+    for (unsigned w = 1; w <= 12; ++w) {
+        SoloOptions o;
+        o.threads = 4;
+        o.ways = w;
+        o.scale = opts.scale;
+        o.system.seed = opts.seed;
+        o.system.hierarchy.llc.repl = repl;
+        o.system.hierarchy.llc.index = index;
+        times.push_back(runSolo(app, o).time);
+    }
+    return times;
+}
+
+const char *
+replName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::LRU:
+        return "LRU";
+      case ReplPolicy::BitPLRU:
+        return "BitPLRU";
+      case ReplPolicy::NRU:
+        return "NRU";
+      case ReplPolicy::Random:
+        return "Random";
+    }
+    return "?";
+}
+
+/** Largest single-step improvement in the curve — the "knee" metric. */
+double
+kneeSharpness(const std::vector<double> &times)
+{
+    double sharpest = 0.0;
+    for (std::size_t i = 2; i < times.size(); ++i)
+        sharpest = std::max(sharpest, times[i - 1] / times[i] - 1.0);
+    return sharpest;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Full length: the saturated working sets must warm up for their
+    // knees to exist at all.
+    const BenchOptions opts = parseArgs(
+        argc, argv, 1.0,
+        "Ablation: replacement policy / indexing vs working-set knees");
+
+    for (const char *name : {"tomcat", "482.sphinx3"}) {
+        const AppParams &app = Catalog::byName(name);
+        Table t({"repl", "index", "w1", "w2", "w3", "w4", "w5", "w6",
+                 "w7", "w8", "w9", "w10", "w11", "w12",
+                 "knee-sharpness"});
+        for (const ReplPolicy repl :
+             {ReplPolicy::LRU, ReplPolicy::BitPLRU, ReplPolicy::NRU,
+              ReplPolicy::Random}) {
+            for (const IndexFn index :
+                 {IndexFn::Modulo, IndexFn::Hashed}) {
+                const std::vector<double> times =
+                    curveWith(app, repl, index, opts);
+                std::vector<std::string> row = {
+                    replName(repl),
+                    index == IndexFn::Hashed ? "hashed" : "modulo"};
+                for (const double x : times)
+                    row.push_back(Table::num(x / times.back(), 3));
+                row.push_back(Table::num(kneeSharpness(times), 3));
+                t.addRow(std::move(row));
+            }
+        }
+        emit(opts,
+             std::string("Ablation [") + name +
+                 "]: normalized time vs ways by replacement/indexing",
+             t);
+    }
+    std::cout << "\nReading (§3.2): the paper attributes the missing "
+                 "knees on real hardware to\npseudo-LRU, hashed "
+                 "indexing, prefetchers, and multi-threaded sharing "
+                 "combined.\nHere the knee-sharpness column quantifies "
+                 "each mechanism's contribution for a\nrandom-reuse and "
+                 "a mixed-pattern application; hashed indexing also "
+                 "shows its\ncost at tiny allocations (conflicts spread "
+                 "across all sets).\n";
+    return 0;
+}

@@ -1,0 +1,190 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "workload/catalog.hh"
+
+namespace capart::bench
+{
+
+BenchOptions
+parseArgs(int argc, char **argv, double default_scale,
+          const char *description)
+{
+    BenchOptions opts;
+    opts.scale = default_scale;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--scale=", 0) == 0) {
+            opts.scale = std::atof(arg.c_str() + 8);
+        } else if (arg == "--csv") {
+            opts.csv = true;
+        } else if (arg == "--quick") {
+            opts.quick = true;
+            opts.scale = std::min(opts.scale, default_scale * 0.3);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        } else {
+            std::printf("%s\n\nusage: %s [--scale=F] [--csv] [--quick] "
+                        "[--seed=N]\n"
+                        "  --scale=F  app instruction-count scale "
+                        "(default %.3g)\n"
+                        "  --csv      machine-readable output\n"
+                        "  --quick    cheaper settings for smoke runs\n",
+                        description, argv[0], default_scale);
+            std::exit(arg == "--help" ? 0 : 1);
+        }
+    }
+    if (opts.scale <= 0.0) {
+        std::fprintf(stderr, "invalid --scale\n");
+        std::exit(1);
+    }
+    return opts;
+}
+
+void
+emit(const BenchOptions &opts, const std::string &title,
+     const Table &table)
+{
+    if (opts.csv) {
+        std::cout << "# " << title << "\n";
+        table.printCsv(std::cout);
+    } else {
+        std::cout << "\n== " << title << " ==\n";
+        table.print(std::cout);
+    }
+    std::cout.flush();
+}
+
+SoloResult
+soloAtThreads(const AppParams &app, unsigned threads,
+              const BenchOptions &opts)
+{
+    SoloOptions o;
+    o.threads = threads;
+    o.scale = opts.scale;
+    o.system.seed = opts.seed;
+    return runSolo(app, o);
+}
+
+SoloResult
+soloAtWays(const AppParams &app, unsigned ways, const BenchOptions &opts,
+           unsigned threads)
+{
+    SoloOptions o;
+    o.threads = threads;
+    o.ways = ways;
+    o.scale = opts.scale;
+    o.system.seed = opts.seed;
+    return runSolo(app, o);
+}
+
+SoloResult
+soloWithPrefetch(const AppParams &app, bool prefetch_on,
+                 const BenchOptions &opts)
+{
+    SoloOptions o;
+    o.threads = 4;
+    o.scale = opts.scale;
+    o.system.seed = opts.seed;
+    o.system.prefetch = PrefetchConfig::allEnabled(prefetch_on);
+    return runSolo(app, o);
+}
+
+std::vector<double>
+scalabilityCurve(const AppParams &app, const BenchOptions &opts)
+{
+    std::vector<double> times;
+    for (unsigned n = 1; n <= 8; ++n)
+        times.push_back(soloAtThreads(app, n, opts).time);
+    return times;
+}
+
+std::vector<double>
+llcCurve(const AppParams &app, const BenchOptions &opts, unsigned threads)
+{
+    std::vector<double> times;
+    for (unsigned w = 1; w <= 12; ++w)
+        times.push_back(soloAtWays(app, w, opts, threads).time);
+    return times;
+}
+
+ScalClass
+classifyScalability(const std::vector<double> &times)
+{
+    // Table 1's buckets, applied to the measured speedup curve:
+    // low      — peak speedup below 1.6x;
+    // saturated— meaningful speedup that stops growing by 8 threads;
+    // high     — keeps growing to 8 threads with solid overall gain.
+    const double peak_speedup = times.front() / times.back();
+    double best = 0.0;
+    for (const double t : times)
+        best = std::max(best, times.front() / t);
+    const double tail_growth =
+        times[5] / times[7]; // 6 -> 8 thread improvement
+    if (best < 1.6)
+        return ScalClass::Low;
+    if (tail_growth > 1.06 && peak_speedup >= 2.8)
+        return ScalClass::High;
+    return ScalClass::Saturated;
+}
+
+UtilClass
+classifyUtility(const std::vector<double> &times)
+{
+    // Table 2's buckets from the 1..12-way curve. The paper ignores
+    // the pathological 0.5 MB direct-mapped point (§3.2); on our
+    // platform tiny allocations additionally pay associativity and
+    // inclusion-victim costs, so classification starts at 3 ways:
+    // low      — ways beyond 3 change little;
+    // high     — still improving in the top third of the cache;
+    // saturated— improves, then flattens.
+    const double t12 = times[11];
+    const double gain_3_to_12 = times[2] / t12;
+    const double gain_10_to_12 = times[9] / t12;
+    if (gain_3_to_12 < 1.05)
+        return UtilClass::Low;
+    if (gain_10_to_12 > 1.02)
+        return UtilClass::High;
+    return UtilClass::Saturated;
+}
+
+double
+bandwidthSlowdown(const AppParams &app, const BenchOptions &opts)
+{
+    const SoloResult solo = soloAtThreads(app, 4, opts);
+    PairOptions po;
+    po.scale = opts.scale;
+    po.system.seed = opts.seed;
+    const PairResult pr =
+        runPair(app, Catalog::byName("stream_uncached"), po);
+    return pr.fgTime / solo.time;
+}
+
+double
+prefetchRatio(const AppParams &app, const BenchOptions &opts)
+{
+    const SoloResult on = soloWithPrefetch(app, true, opts);
+    const SoloResult off = soloWithPrefetch(app, false, opts);
+    return on.time / off.time;
+}
+
+std::vector<AppParams>
+representatives()
+{
+    std::vector<AppParams> reps;
+    for (const auto name : Catalog::clusterRepresentatives())
+        reps.push_back(Catalog::byName(name));
+    return reps;
+}
+
+std::string
+repLabel(std::size_t idx)
+{
+    return "C" + std::to_string(idx + 1);
+}
+
+} // namespace capart::bench

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared infrastructure for the experiment binaries in bench/.
+ *
+ * Each binary regenerates one table or figure of the paper (see
+ * DESIGN.md's per-experiment index). They share command-line handling
+ * (--scale, --csv, --quick), the characterization sweeps of §3, and
+ * the representative-pair enumeration of §5.
+ */
+
+#ifndef CAPART_BENCH_BENCH_COMMON_HH
+#define CAPART_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+#include "workload/app_params.hh"
+
+namespace capart::bench
+{
+
+/** Common command-line options for experiment binaries. */
+struct BenchOptions
+{
+    /** Instruction-scale factor applied to every application. */
+    double scale = 0.2;
+    /** Emit CSV instead of aligned text. */
+    bool csv = false;
+    /** Cheaper settings (fewer points / smaller scale). */
+    bool quick = false;
+    /** Random seed for the platform. */
+    std::uint64_t seed = 12345;
+};
+
+/**
+ * Parse --scale=X, --csv, --quick, --seed=N; prints usage and exits on
+ * --help or unknown arguments. @p default_scale seeds opts.scale.
+ */
+BenchOptions parseArgs(int argc, char **argv, double default_scale,
+                       const char *description);
+
+/** Print @p table as text or CSV per @p opts, preceded by a title. */
+void emit(const BenchOptions &opts, const std::string &title,
+          const Table &table);
+
+/** Solo execution time with @p threads hyperthreads, full LLC. */
+SoloResult soloAtThreads(const AppParams &app, unsigned threads,
+                         const BenchOptions &opts);
+
+/** Solo execution time at 4 threads with a restricted way allocation. */
+SoloResult soloAtWays(const AppParams &app, unsigned ways,
+                      const BenchOptions &opts, unsigned threads = 4);
+
+/** Solo run with a specific prefetcher configuration. */
+SoloResult soloWithPrefetch(const AppParams &app, bool prefetch_on,
+                            const BenchOptions &opts);
+
+/** §3.1 sweep: execution times at 1..8 threads. */
+std::vector<double> scalabilityCurve(const AppParams &app,
+                                     const BenchOptions &opts);
+
+/** §3.2 sweep: execution times at 1..12 ways (4 threads). */
+std::vector<double> llcCurve(const AppParams &app,
+                             const BenchOptions &opts,
+                             unsigned threads = 4);
+
+/** Classify a 1..8-thread time curve into Table 1's classes. */
+ScalClass classifyScalability(const std::vector<double> &times);
+
+/** Classify a 1..12-way time curve into Table 2's classes. */
+UtilClass classifyUtility(const std::vector<double> &times);
+
+/** Fig. 4 measurement: slowdown when co-run with stream_uncached. */
+double bandwidthSlowdown(const AppParams &app, const BenchOptions &opts);
+
+/** Fig. 3 measurement: time(all prefetchers on) / time(all off). */
+double prefetchRatio(const AppParams &app, const BenchOptions &opts);
+
+/** The six Table 3 cluster representatives, in order C1..C6. */
+std::vector<AppParams> representatives();
+
+/** Short label Ck for representative index k (0-based). */
+std::string repLabel(std::size_t idx);
+
+} // namespace capart::bench
+
+#endif // CAPART_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * raw cache accesses, full-hierarchy accesses, access generation, and
+ * an end-to-end quantum. These guard the simulation throughput that
+ * makes the 45x45 co-run matrix tractable.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "mem/hierarchy.hh"
+#include "mem/set_assoc_cache.hh"
+#include "sim/experiment.hh"
+#include "workload/catalog.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace capart;
+
+void
+BM_LlcAccess(benchmark::State &state)
+{
+    CacheConfig cfg = HierarchyConfig::sandyBridge().llc;
+    cfg.repl = static_cast<ReplPolicy>(state.range(0));
+    SetAssocCache cache(cfg);
+    Rng rng(1);
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        const Addr line = rng.below(1u << 18);
+        sink += cache.access(line, false, 0).hit;
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LlcAccess)
+    ->Arg(static_cast<int>(ReplPolicy::LRU))
+    ->Arg(static_cast<int>(ReplPolicy::BitPLRU))
+    ->Arg(static_cast<int>(ReplPolicy::NRU));
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    CacheHierarchy h(HierarchyConfig::sandyBridge(), 4);
+    Rng rng(2);
+    std::uint64_t sink = 0;
+    // Working set of state.range(0) KiB.
+    const std::uint64_t lines =
+        static_cast<std::uint64_t>(state.range(0)) * 1024 / kLineBytes;
+    for (auto _ : state) {
+        const Addr addr = rng.below(lines) * kLineBytes;
+        sink += static_cast<unsigned>(
+            h.access(0, 0, addr, false).servedBy);
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyAccess)->Arg(16)->Arg(512)->Arg(8192);
+
+void
+BM_GeneratorQuantum(benchmark::State &state)
+{
+    const AppParams &app = Catalog::byName("459.GemsFDTD");
+    ThreadWorkload wl(app, 0, 1, 1ull << 40, 3);
+    std::vector<MemAccess> buf;
+    for (auto _ : state) {
+        buf.clear();
+        if (wl.done())
+            wl.restart();
+        wl.runQuantum(4000, 0.0, buf);
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_GeneratorQuantum);
+
+void
+BM_SoloRunEndToEnd(benchmark::State &state)
+{
+    const AppParams &app = Catalog::byName("ferret");
+    for (auto _ : state) {
+        SoloOptions o;
+        o.threads = 4;
+        o.scale = 0.01;
+        const SoloResult r = runSolo(app, o);
+        benchmark::DoNotOptimize(r.time);
+    }
+}
+BENCHMARK(BM_SoloRunEndToEnd)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Characterize one application the way §3 characterizes the paper's
+ * suite: thread scalability, LLC-capacity sensitivity, prefetcher
+ * sensitivity, and bandwidth sensitivity — then report where it lands
+ * in the Table 1 / Table 2 taxonomy.
+ *
+ * Usage: characterize_app [benchmark-name] [scale]
+ *        (default: 482.sphinx3 at scale 0.3; see Catalog for names)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workload/catalog.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace capart;
+
+    const char *name = argc > 1 ? argv[1] : "482.sphinx3";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.3;
+    if (!Catalog::contains(name)) {
+        std::fprintf(stderr, "unknown benchmark '%s'; catalog has:\n",
+                     name);
+        for (const auto &a : Catalog::all())
+            std::fprintf(stderr, "  %s\n", a.name.c_str());
+        return 1;
+    }
+    const AppParams &app = Catalog::byName(name);
+
+    std::printf("characterizing %s (%s) at scale %.2f\n\n", name,
+                suiteName(app.suite), scale);
+
+    // 1. Thread scalability (§3.1).
+    std::printf("thread scalability (speedup over 1 thread):\n  ");
+    std::vector<double> times;
+    for (unsigned n = 1; n <= 8; ++n) {
+        SoloOptions o;
+        o.threads = n;
+        o.scale = scale;
+        times.push_back(runSolo(app, o).time);
+        std::printf("%u:%.2fx ", n, times.front() / times.back());
+    }
+    std::printf("\n  paper class: %s\n\n",
+                scalClassName(app.expectedScal));
+
+    // 2. LLC sensitivity (§3.2).
+    std::printf("LLC sensitivity (time vs allocation, 4 threads):\n  ");
+    double t12 = 0.0;
+    for (unsigned ways = 1; ways <= 12; ++ways) {
+        SoloOptions o;
+        o.threads = 4;
+        o.ways = ways;
+        o.scale = scale;
+        const SoloResult r = runSolo(app, o);
+        if (ways == 12)
+            t12 = r.time;
+        std::printf("%.1fMB:%.2fms ", ways * 0.5, r.time * 1e3);
+    }
+    SoloOptions full;
+    full.threads = 4;
+    full.scale = scale;
+    const SoloResult base = runSolo(app, full);
+    std::printf("\n  APKI %.1f, MPKI %.1f%s; paper class: %s\n\n",
+                base.app.apki(), base.app.mpki(),
+                base.app.apki() > 10 ? " (>10: potential polluter)" : "",
+                utilClassName(app.expectedUtil));
+    (void)t12;
+
+    // 3. Prefetcher sensitivity (§3.3).
+    SoloOptions no_pf = full;
+    no_pf.system.prefetch = PrefetchConfig::allEnabled(false);
+    const SoloResult off = runSolo(app, no_pf);
+    std::printf("prefetcher sensitivity: time(on)/time(off) = %.3f "
+                "(paper: %ssensitive)\n\n",
+                base.time / off.time,
+                app.expectedPrefetchSensitive ? "" : "not ");
+
+    // 4. Bandwidth sensitivity (§3.4).
+    PairOptions hogged;
+    hogged.scale = scale;
+    const PairResult hog =
+        runPair(app, Catalog::byName("stream_uncached"), hogged);
+    std::printf("bandwidth sensitivity: slowdown with hog = %.3f "
+                "(paper: %ssensitive)\n",
+                hog.fgTime / base.time,
+                app.expectedBandwidthSensitive ? "" : "not ");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Watch the dynamic partitioning algorithm (§6) work: run the phased
+ * 429.mcf as foreground against a continuously-running background and
+ * print the controller's allocation decisions as an ASCII timeline —
+ * way allocation growing at phase changes and shrinking as the probe
+ * finds spare capacity.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/dynamic_partitioner.hh"
+#include "sim/system.hh"
+#include "workload/catalog.hh"
+
+int
+main()
+{
+    using namespace capart;
+
+    SystemConfig config;
+    config.perfWindow = 20e-6; // scaled analogue of the 100 ms window
+
+    System machine(config);
+    const AppId fg = machine.addAppThreads(
+        Catalog::byName("429.mcf").scaled(0.5), 0, 1);
+    const AppId bg = machine.addAppOnCores(
+        Catalog::byName("dedup").scaled(0.5), 2, 2, /*continuous=*/true);
+
+    DynamicPartitioner controller(fg, {bg});
+    machine.setController(&controller);
+
+    std::printf("running 429.mcf (fg, 1 thread) + dedup (bg, looping) "
+                "under Algorithm 6.2\n\n");
+    const RunResult result = machine.run();
+
+    // Timeline: one row per ~40 windows.
+    std::printf("%-10s  %-8s  %-6s  %s\n", "time(us)", "fg MPKI",
+                "ways", "allocation (#=fg way, .=bg way)");
+    const auto &history = controller.history();
+    const std::size_t step = history.size() / 30 + 1;
+    for (std::size_t i = 0; i < history.size(); i += step) {
+        const AllocationEvent &ev = history[i];
+        std::string bar(ev.fgWays, '#');
+        bar += std::string(machine.llcWays() - ev.fgWays, '.');
+        std::printf("%-10.1f  %-8.1f  %-6u  %s%s\n", ev.time * 1e6,
+                    ev.windowMpki, ev.fgWays, bar.c_str(),
+                    ev.phase == PhaseEvent::NewPhase ? "  <- new phase"
+                                                     : "");
+    }
+
+    std::printf("\nforeground completed in %.2f ms; background retired "
+                "%.1f M instructions\n(%u full iterations); %llu "
+                "reallocations, %llu phase changes detected.\n",
+                result.app(fg).completionTime * 1e3,
+                static_cast<double>(result.app(bg).retired) / 1e6,
+                result.app(bg).iterations,
+                static_cast<unsigned long long>(
+                    controller.reallocations()),
+                static_cast<unsigned long long>(
+                    controller.detector().phaseChanges()));
+    return 0;
+}

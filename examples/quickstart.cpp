@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Quickstart: co-schedule a latency-sensitive foreground application
+ * with a batch background application and compare the paper's LLC
+ * management policies in a dozen lines of API.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/co_scheduler.hh"
+#include "workload/catalog.hh"
+
+int
+main()
+{
+    using namespace capart;
+
+    // Pick workloads from the paper's 45-application catalog.
+    const AppParams &foreground = Catalog::byName("429.mcf");
+    const AppParams &background = Catalog::byName("dedup");
+
+    // Consolidate them: each gets 2 cores / 4 hyperthreads of the
+    // simulated 4-core Sandy Bridge (§5). Scale shortens the synthetic
+    // applications so this demo finishes in seconds.
+    CoScheduleOptions options;
+    options.scale = 0.2;
+
+    CoScheduler scheduler(foreground, background, options);
+
+    std::printf("co-scheduling %s (foreground) with %s (background)\n\n",
+                foreground.name.c_str(), background.name.c_str());
+    std::printf("%-8s  %12s  %16s  %14s\n", "policy", "fg slowdown",
+                "bg throughput", "energy vs seq");
+    for (const Policy policy : {Policy::Shared, Policy::Fair,
+                                Policy::Biased, Policy::Dynamic}) {
+        const ConsolidationSummary s = scheduler.summarize(policy);
+        std::printf("%-8s  %11.1f%%  %13.2f MIPS  %13.1f%%\n",
+                    policyName(policy), (s.fgSlowdown - 1.0) * 100.0,
+                    s.bgThroughput / 1e6,
+                    (s.energyVsSequential - 1.0) * 100.0);
+    }
+
+    std::printf("\nThe dynamic policy protects the foreground like the "
+                "best static partition\nwhile freeing unneeded LLC for "
+                "the background (paper §6).\n");
+    return 0;
+}

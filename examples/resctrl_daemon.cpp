@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A userspace "partitioning daemon" written against the resctrl-style
+ * control plane — the way a production operator would deploy the
+ * paper's policy on CAT hardware. The daemon:
+ *
+ *   1. creates `latency` and `batch` control groups,
+ *   2. pins the foreground into `latency` and the background into
+ *      `batch` with complementary schemata,
+ *   3. runs the co-schedule while Algorithm 6.2 (via the library's
+ *      DynamicPartitioner) adjusts the split, and
+ *   4. prints the groups' CMT-style monitoring data afterwards.
+ */
+
+#include <cstdio>
+
+#include "core/dynamic_partitioner.hh"
+#include "rctl/resctrl.hh"
+#include "workload/catalog.hh"
+
+int
+main()
+{
+    using namespace capart;
+
+    System machine{SystemConfig{}};
+    const AppId search = machine.addAppOnCores(
+        Catalog::byName("482.sphinx3").scaled(0.3), 0, 2);
+    const AppId indexer = machine.addAppOnCores(
+        Catalog::byName("xalan").scaled(0.3), 2, 2, /*continuous=*/true);
+
+    ResctrlFs resctrl(machine);
+
+    // Static setup, exactly the shell session an operator would run:
+    //   mkdir /sys/fs/resctrl/latency /sys/fs/resctrl/batch
+    //   echo "L3:0=ffc" > latency/schemata ; echo "L3:0=003" > batch/...
+    //   echo $FG_PID > latency/tasks      ; echo $BG_PID > batch/tasks
+    auto must = [](RctlStatus s) {
+        if (s != RctlStatus::Ok) {
+            std::fprintf(stderr, "resctrl: %s\n", rctlStatusName(s));
+            std::exit(1);
+        }
+    };
+    must(resctrl.createGroup("latency"));
+    must(resctrl.createGroup("batch"));
+    must(resctrl.writeSchemata("latency", "L3:0=ffc"));
+    must(resctrl.writeSchemata("batch", "L3:0=003"));
+    must(resctrl.assignApp("latency", search));
+    must(resctrl.assignApp("batch", indexer));
+
+    std::printf("groups: latency=%s  batch=%s\n",
+                resctrl.readSchemata("latency")->c_str(),
+                resctrl.readSchemata("batch")->c_str());
+
+    // Hand ongoing adjustment to the paper's dynamic policy.
+    DynamicPartitioner controller(search, {indexer});
+    machine.setController(&controller);
+    const RunResult result = machine.run();
+
+    const auto lat_mon = resctrl.monitor("latency");
+    const auto bat_mon = resctrl.monitor("batch");
+    std::printf("\nforeground finished in %.2f ms "
+                "(settled at %u ways)\n",
+                result.app(search).completionTime * 1e3,
+                controller.fgWays());
+    std::printf("latency group: %llu LLC accesses, %.1f%% hits\n",
+                static_cast<unsigned long long>(lat_mon->llcAccesses),
+                100.0 * lat_mon->llcHits /
+                    std::max<std::uint64_t>(1, lat_mon->llcAccesses));
+    std::printf("batch group:   %llu LLC accesses, %.1f%% hits; "
+                "%.1f M instructions retired\n",
+                static_cast<unsigned long long>(bat_mon->llcAccesses),
+                100.0 * bat_mon->llcHits /
+                    std::max<std::uint64_t>(1, bat_mon->llcAccesses),
+                result.app(indexer).retired / 1e6);
+    return 0;
+}

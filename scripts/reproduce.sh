@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Reproduce the full evaluation: build, test, and run every
+# table/figure binary, capturing logs at the repository root.
+set -u
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "### $b"
+    "$b"
+done 2>&1 | tee bench_output.txt

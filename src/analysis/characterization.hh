@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Assembly of the paper's 19-value characterization feature vectors
+ * (§3.5): 7 thread-scaling features, 10 LLC-size features, 1 prefetcher
+ * sensitivity, 1 bandwidth sensitivity.
+ */
+
+#ifndef CAPART_ANALYSIS_CHARACTERIZATION_HH
+#define CAPART_ANALYSIS_CHARACTERIZATION_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/clustering.hh"
+#include "common/logging.hh"
+
+namespace capart
+{
+
+/** Measured characterization of one application (§3.1–§3.4). */
+struct AppCharacterization
+{
+    std::string name;
+    /** Execution time at 2..8 threads relative to 1 thread (7 values). */
+    std::vector<double> threadScaling;
+    /** Execution time at 10 increasing LLC allocations, normalized to
+     *  the largest allocation (10 values). */
+    std::vector<double> llcSensitivity;
+    /** Exec time with all prefetchers on / all off (1 value, Fig. 3). */
+    double prefetchSensitivity = 1.0;
+    /** Exec time next to the bandwidth hog / solo (1 value, Fig. 4). */
+    double bandwidthSensitivity = 1.0;
+};
+
+/** Expected arity of the paper's feature vectors. */
+constexpr std::size_t kNumFeatures = 19;
+
+/** Flatten a characterization into the 19-value feature vector. */
+inline FeatureVector
+toFeatureVector(const AppCharacterization &c)
+{
+    capart_assert(c.threadScaling.size() == 7);
+    capart_assert(c.llcSensitivity.size() == 10);
+    FeatureVector f;
+    f.name = c.name;
+    f.values.reserve(kNumFeatures);
+    f.values.insert(f.values.end(), c.threadScaling.begin(),
+                    c.threadScaling.end());
+    f.values.insert(f.values.end(), c.llcSensitivity.begin(),
+                    c.llcSensitivity.end());
+    f.values.push_back(c.prefetchSensitivity);
+    f.values.push_back(c.bandwidthSensitivity);
+    capart_assert(f.values.size() == kNumFeatures);
+    return f;
+}
+
+} // namespace capart
+
+#endif // CAPART_ANALYSIS_CHARACTERIZATION_HH

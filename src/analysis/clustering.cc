@@ -1,0 +1,209 @@
+#include "analysis/clustering.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace capart
+{
+
+void
+normalizeFeatures(std::vector<FeatureVector> &features)
+{
+    if (features.empty())
+        return;
+    const std::size_t dims = features.front().values.size();
+    for (const auto &f : features)
+        capart_assert(f.values.size() == dims);
+
+    for (std::size_t d = 0; d < dims; ++d) {
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -std::numeric_limits<double>::infinity();
+        for (const auto &f : features) {
+            lo = std::min(lo, f.values[d]);
+            hi = std::max(hi, f.values[d]);
+        }
+        const double span = hi - lo;
+        for (auto &f : features)
+            f.values[d] = span > 0.0 ? (f.values[d] - lo) / span : 0.0;
+    }
+}
+
+double
+euclidean(const FeatureVector &a, const FeatureVector &b)
+{
+    capart_assert(a.values.size() == b.values.size());
+    double sum = 0.0;
+    for (std::size_t d = 0; d < a.values.size(); ++d) {
+        const double diff = a.values[d] - b.values[d];
+        sum += diff * diff;
+    }
+    return std::sqrt(sum);
+}
+
+Dendrogram
+singleLinkage(const std::vector<FeatureVector> &features)
+{
+    const std::size_t n = features.size();
+    Dendrogram dendro;
+    dendro.numLeaves = n;
+    if (n < 2)
+        return dendro;
+
+    // Active clusters, each a list of leaf indices plus its current id.
+    struct Cluster
+    {
+        std::size_t id;
+        std::vector<std::size_t> leaves;
+    };
+    std::vector<Cluster> active;
+    for (std::size_t i = 0; i < n; ++i)
+        active.push_back(Cluster{i, {i}});
+
+    // Precomputed leaf-to-leaf distances.
+    std::vector<double> dist(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double d = euclidean(features[i], features[j]);
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+
+    std::size_t next_id = n;
+    while (active.size() > 1) {
+        // Single linkage: cluster distance is the minimum leaf pair
+        // distance. O(k^2 * leaves^2) is fine at benchmark-suite scale.
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t bi = 0, bj = 1;
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            for (std::size_t j = i + 1; j < active.size(); ++j) {
+                double d = std::numeric_limits<double>::infinity();
+                for (const std::size_t a : active[i].leaves)
+                    for (const std::size_t b : active[j].leaves)
+                        d = std::min(d, dist[a * n + b]);
+                if (d < best) {
+                    best = d;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+
+        Merge m;
+        m.a = active[bi].id;
+        m.b = active[bj].id;
+        m.distance = best;
+        m.size = active[bi].leaves.size() + active[bj].leaves.size();
+        dendro.merges.push_back(m);
+
+        Cluster merged;
+        merged.id = next_id++;
+        merged.leaves = active[bi].leaves;
+        merged.leaves.insert(merged.leaves.end(),
+                             active[bj].leaves.begin(),
+                             active[bj].leaves.end());
+        // Erase the higher index first to keep the lower one valid.
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(bj));
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(bi));
+        active.push_back(std::move(merged));
+    }
+    return dendro;
+}
+
+std::vector<unsigned>
+clustersAtDistance(const Dendrogram &dendro, double cutoff)
+{
+    const std::size_t n = dendro.numLeaves;
+    // Union-find over leaf+merge ids.
+    std::vector<std::size_t> parent(n + dendro.merges.size());
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+
+    for (std::size_t k = 0; k < dendro.merges.size(); ++k) {
+        const Merge &m = dendro.merges[k];
+        const std::size_t id = n + k;
+        if (m.distance < cutoff) {
+            parent[find(m.a)] = id;
+            parent[find(m.b)] = id;
+        } else {
+            // The merge node still needs a root (itself); its children
+            // stay separate.
+        }
+    }
+
+    std::vector<unsigned> labels(n, 0);
+    std::vector<std::size_t> roots;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = find(i);
+        auto it = std::find(roots.begin(), roots.end(), r);
+        if (it == roots.end()) {
+            roots.push_back(r);
+            labels[i] = static_cast<unsigned>(roots.size() - 1);
+        } else {
+            labels[i] =
+                static_cast<unsigned>(std::distance(roots.begin(), it));
+        }
+    }
+    return labels;
+}
+
+std::size_t
+centroidRepresentative(const std::vector<FeatureVector> &features,
+                       const std::vector<unsigned> &labels,
+                       unsigned cluster)
+{
+    capart_assert(features.size() == labels.size());
+    const std::size_t dims =
+        features.empty() ? 0 : features.front().values.size();
+
+    std::vector<double> centroid(dims, 0.0);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        if (labels[i] != cluster)
+            continue;
+        for (std::size_t d = 0; d < dims; ++d)
+            centroid[d] += features[i].values[d];
+        ++count;
+    }
+    capart_assert(count > 0);
+    for (double &c : centroid)
+        c /= static_cast<double>(count);
+
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        if (labels[i] != cluster)
+            continue;
+        double sum = 0.0;
+        for (std::size_t d = 0; d < dims; ++d) {
+            const double diff = features[i].values[d] - centroid[d];
+            sum += diff * diff;
+        }
+        if (sum < best) {
+            best = sum;
+            best_idx = i;
+        }
+    }
+    return best_idx;
+}
+
+unsigned
+numClusters(const std::vector<unsigned> &labels)
+{
+    unsigned max_label = 0;
+    for (const unsigned l : labels)
+        max_label = std::max(max_label, l);
+    return labels.empty() ? 0 : max_label + 1;
+}
+
+} // namespace capart

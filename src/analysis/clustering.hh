@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hierarchical agglomerative clustering with single linkage — the
+ * scipy-cluster algorithm the paper uses to pick representative
+ * applications (§3.5) — plus feature-vector normalization helpers.
+ */
+
+#ifndef CAPART_ANALYSIS_CLUSTERING_HH
+#define CAPART_ANALYSIS_CLUSTERING_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace capart
+{
+
+/** One observation: an application and its characterization features. */
+struct FeatureVector
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/**
+ * Min-max normalize every feature dimension to [0, 1] in place
+ * (constant dimensions become 0). All vectors must share an arity.
+ */
+void normalizeFeatures(std::vector<FeatureVector> &features);
+
+/** Euclidean distance between two (equal-arity) vectors. */
+double euclidean(const FeatureVector &a, const FeatureVector &b);
+
+/**
+ * One agglomeration step, scipy-linkage style: clusters @p a and @p b
+ * (ids < n are leaves; id n+k is the cluster formed by merge k) join at
+ * @p distance into a cluster of @p size leaves.
+ */
+struct Merge
+{
+    std::size_t a = 0;
+    std::size_t b = 0;
+    double distance = 0.0;
+    std::size_t size = 0;
+};
+
+/** The full agglomeration sequence (n-1 merges for n observations). */
+struct Dendrogram
+{
+    std::size_t numLeaves = 0;
+    std::vector<Merge> merges;
+};
+
+/** Single-linkage agglomerative clustering over Euclidean distances. */
+Dendrogram singleLinkage(const std::vector<FeatureVector> &features);
+
+/**
+ * Flat clusters: cut the dendrogram at @p cutoff (merges with distance
+ * < cutoff are applied). Returns a label per leaf, labels densely
+ * numbered from 0 in order of first appearance.
+ */
+std::vector<unsigned> clustersAtDistance(const Dendrogram &dendro,
+                                         double cutoff);
+
+/**
+ * Index of the observation closest to the centroid of @p cluster under
+ * labeling @p labels — the paper's per-cluster representative.
+ */
+std::size_t centroidRepresentative(
+    const std::vector<FeatureVector> &features,
+    const std::vector<unsigned> &labels, unsigned cluster);
+
+/** Number of distinct labels. */
+unsigned numClusters(const std::vector<unsigned> &labels);
+
+} // namespace capart
+
+#endif // CAPART_ANALYSIS_CLUSTERING_HH

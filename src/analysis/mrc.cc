@@ -1,0 +1,96 @@
+#include "analysis/mrc.hh"
+
+#include "common/logging.hh"
+
+namespace capart
+{
+
+StackDistanceProfiler::StackDistanceProfiler()
+{
+    bit_.reserve(1 << 16);
+}
+
+void
+StackDistanceProfiler::bitAdd(std::size_t pos, int delta)
+{
+    for (std::size_t i = pos + 1; i <= bit_.size(); i += i & (~i + 1))
+        bit_[i - 1] += delta;
+}
+
+std::uint64_t
+StackDistanceProfiler::bitPrefix(std::size_t pos) const
+{
+    std::int64_t sum = 0;
+    for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1))
+        sum += bit_[i - 1];
+    capart_assert(sum >= 0);
+    return static_cast<std::uint64_t>(sum);
+}
+
+void
+StackDistanceProfiler::access(Addr line)
+{
+    const std::uint64_t now = accesses_;
+    // Grow the Fenwick tree by one slot for this access. Appending a
+    // zero keeps all prefix sums valid.
+    bit_.push_back(0);
+    // Fix up the new node: its range covers [now+1 - lowbit, now], and
+    // appending zero means it must hold the sum of that range.
+    {
+        const std::size_t i = now + 1;
+        const std::size_t low = i & (~i + 1);
+        if (low > 1) {
+            // Sum of the covered range equals prefix(now-1)-prefix(now-low).
+            const std::uint64_t hi = bitPrefix(now - 1);
+            const std::uint64_t lo =
+                (now >= low) ? bitPrefix(now - low) : 0;
+            bit_[now] = static_cast<std::int32_t>(hi - lo);
+        }
+    }
+
+    const auto it = lastSeen_.find(line);
+    if (it == lastSeen_.end()) {
+        ++coldMisses_;
+    } else {
+        const std::uint64_t last = it->second - 1;
+        // Stack distance = distinct lines touched since `last` =
+        // number of live markers strictly after `last`.
+        const std::uint64_t d =
+            bitPrefix(now - 1) - bitPrefix(last);
+        if (hist_.size() <= d)
+            hist_.resize(d + 1, 0);
+        ++hist_[d];
+        bitAdd(last, -1); // the old marker dies; the line moves to top
+    }
+    bitAdd(now, +1);
+    lastSeen_[line] = now + 1;
+    ++accesses_;
+}
+
+double
+StackDistanceProfiler::missRatio(std::uint64_t capacity_lines) const
+{
+    if (accesses_ == 0)
+        return 0.0;
+    // A reuse at stack distance d hits iff the cache holds at least
+    // d+1 lines (the referenced line is below d other lines).
+    std::uint64_t misses = coldMisses_;
+    for (std::uint64_t d = 0; d < hist_.size(); ++d) {
+        if (d + 1 > capacity_lines)
+            misses += hist_[d];
+    }
+    return static_cast<double>(misses) / static_cast<double>(accesses_);
+}
+
+std::vector<double>
+StackDistanceProfiler::missRatios(
+    const std::vector<std::uint64_t> &capacities) const
+{
+    std::vector<double> out;
+    out.reserve(capacities.size());
+    for (const std::uint64_t c : capacities)
+        out.push_back(missRatio(c));
+    return out;
+}
+
+} // namespace capart

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error and status reporting, in the spirit of gem5's base/logging.hh.
+ *
+ * panic()  — an internal invariant was violated; this is a capart bug.
+ *            Aborts so a debugger or core dump can capture state.
+ * fatal()  — the user supplied an impossible configuration; exits cleanly
+ *            with a nonzero status.
+ * warn() / inform() — non-fatal status messages on stderr.
+ */
+
+#ifndef CAPART_COMMON_LOGGING_HH
+#define CAPART_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace capart
+{
+
+/** @cond INTERNAL implementation hooks for the macros below. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+/** @endcond */
+
+} // namespace capart
+
+/** Abort with a message; use for violated internal invariants. */
+#define capart_panic(msg)                                                    \
+    do {                                                                     \
+        std::ostringstream capart_oss_;                                     \
+        capart_oss_ << msg;                                                 \
+        ::capart::panicImpl(__FILE__, __LINE__, capart_oss_.str());         \
+    } while (0)
+
+/** Exit with a message; use for invalid user configuration. */
+#define capart_fatal(msg)                                                    \
+    do {                                                                     \
+        std::ostringstream capart_oss_;                                     \
+        capart_oss_ << msg;                                                 \
+        ::capart::fatalImpl(__FILE__, __LINE__, capart_oss_.str());         \
+    } while (0)
+
+/** Print a warning to stderr and continue. */
+#define capart_warn(msg)                                                     \
+    do {                                                                     \
+        std::ostringstream capart_oss_;                                     \
+        capart_oss_ << msg;                                                 \
+        ::capart::warnImpl(capart_oss_.str());                              \
+    } while (0)
+
+/** Print an informational message to stderr and continue. */
+#define capart_inform(msg)                                                   \
+    do {                                                                     \
+        std::ostringstream capart_oss_;                                     \
+        capart_oss_ << msg;                                                 \
+        ::capart::informImpl(capart_oss_.str());                            \
+    } while (0)
+
+/**
+ * Check an internal invariant; panics with the stringified condition on
+ * failure. Always enabled (the simulator is cheap relative to debugging).
+ */
+#define capart_assert(cond)                                                  \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            capart_panic("assertion failed: " #cond);                        \
+    } while (0)
+
+#endif // CAPART_COMMON_LOGGING_HH

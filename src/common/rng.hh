@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Every stochastic choice in capart flows through an explicitly seeded
+ * @ref capart::Rng so that every experiment is reproducible bit-for-bit.
+ * The generator is xoshiro256** (Blackman & Vigna), which is fast, has a
+ * 2^256-1 period, and passes BigCrush.
+ */
+
+#ifndef CAPART_COMMON_RNG_HH
+#define CAPART_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace capart
+{
+
+/** Deterministic xoshiro256** pseudo-random number generator. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step: decorrelates nearby seeds.
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // here: bias is < 2^-40 for the bounds workloads use.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace capart
+
+#endif // CAPART_COMMON_RNG_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every capart subsystem.
+ *
+ * The simulator measures time in two domains: discrete core clock
+ * @ref capart::Cycles and wall-clock @ref capart::Seconds. Memory is
+ * addressed with 64-bit physical addresses (@ref capart::Addr) and moved
+ * in 64-byte cache lines.
+ */
+
+#ifndef CAPART_COMMON_TYPES_HH
+#define CAPART_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace capart
+{
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Count of core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Count of retired instructions. */
+using Insts = std::uint64_t;
+
+/** Wall-clock time in seconds (simulated). */
+using Seconds = double;
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Power in watts. */
+using Watts = double;
+
+/** Size of one cache line in bytes (Sandy Bridge: 64 B). */
+constexpr unsigned kLineBytes = 64;
+
+/** log2(kLineBytes); used to strip the line offset from addresses. */
+constexpr unsigned kLineShift = 6;
+
+static_assert((1u << kLineShift) == kLineBytes,
+              "line shift must match line size");
+
+/** Convert a byte address to its cache-line address (offset stripped). */
+constexpr Addr
+lineAddr(Addr byte_addr)
+{
+    return byte_addr >> kLineShift;
+}
+
+/** Identifier of a hardware thread (hyperthread) in the system. */
+using HwThreadId = unsigned;
+
+/** Identifier of a physical core in the system. */
+using CoreId = unsigned;
+
+/** Identifier of an application (workload) instance in a scenario. */
+using AppId = unsigned;
+
+/** Sentinel for "no application". */
+constexpr AppId kNoApp = static_cast<AppId>(-1);
+
+} // namespace capart
+
+#endif // CAPART_COMMON_TYPES_HH

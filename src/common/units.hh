@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit helpers: binary sizes and time conversions used across capart.
+ */
+
+#ifndef CAPART_COMMON_UNITS_HH
+#define CAPART_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace capart
+{
+
+/** Kibibytes to bytes. */
+constexpr std::uint64_t
+kib(std::uint64_t n)
+{
+    return n * 1024ULL;
+}
+
+/** Mebibytes to bytes. */
+constexpr std::uint64_t
+mib(std::uint64_t n)
+{
+    return n * 1024ULL * 1024ULL;
+}
+
+/** Gibibytes to bytes. */
+constexpr std::uint64_t
+gib(std::uint64_t n)
+{
+    return n * 1024ULL * 1024ULL * 1024ULL;
+}
+
+/** Milliseconds to seconds. */
+constexpr double
+msec(double n)
+{
+    return n * 1e-3;
+}
+
+/** Microseconds to seconds. */
+constexpr double
+usec(double n)
+{
+    return n * 1e-6;
+}
+
+/** GHz to Hz. */
+constexpr double
+ghz(double n)
+{
+    return n * 1e9;
+}
+
+/** GB/s to bytes per second. */
+constexpr double
+gbps(double n)
+{
+    return n * 1e9;
+}
+
+} // namespace capart
+
+#endif // CAPART_COMMON_UNITS_HH

@@ -1,0 +1,163 @@
+#include "core/co_scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace capart
+{
+
+CoScheduler::CoScheduler(const AppParams &fg, const AppParams &bg,
+                         const CoScheduleOptions &opts)
+    : fg_(fg), bg_(bg), opts_(opts)
+{
+    capart_assert(opts_.threadsEach >= 1);
+}
+
+PairOptions
+CoScheduler::basePairOptions(bool bg_continuous) const
+{
+    PairOptions pair;
+    pair.fgThreads = opts_.threadsEach;
+    pair.bgThreads = opts_.threadsEach;
+    pair.bgContinuous = bg_continuous;
+    pair.scale = opts_.scale;
+    pair.system = opts_.system;
+    return pair;
+}
+
+const SoloResult &
+CoScheduler::fgSoloHalf()
+{
+    if (!fgSoloHalf_) {
+        SoloOptions solo;
+        solo.threads = opts_.threadsEach;
+        solo.scale = opts_.scale;
+        solo.system = opts_.system;
+        fgSoloHalf_ = runSolo(fg_, solo);
+    }
+    return *fgSoloHalf_;
+}
+
+const SoloResult &
+CoScheduler::fgSoloFull()
+{
+    if (!fgSoloFull_) {
+        SoloOptions solo;
+        solo.threads = opts_.system.numHts();
+        solo.scale = opts_.scale;
+        solo.system = opts_.system;
+        fgSoloFull_ = runSolo(fg_, solo);
+    }
+    return *fgSoloFull_;
+}
+
+const SoloResult &
+CoScheduler::bgSoloFull()
+{
+    if (!bgSoloFull_) {
+        SoloOptions solo;
+        solo.threads = opts_.system.numHts();
+        solo.scale = opts_.scale;
+        solo.system = opts_.system;
+        bgSoloFull_ = runSolo(bg_, solo);
+    }
+    return *bgSoloFull_;
+}
+
+const BiasedSearchResult &
+CoScheduler::biased()
+{
+    if (!biased_) {
+        BiasedSearchOptions search;
+        search.pair = basePairOptions(true);
+        search.tolerance = opts_.biasedTolerance;
+        biased_ = findBiasedPartition(fg_, bg_, search);
+    }
+    return *biased_;
+}
+
+const PairResult &
+CoScheduler::runPolicy(Policy policy, bool bg_continuous)
+{
+    const auto key = std::make_pair(policy, bg_continuous);
+    const auto it = pairRuns_.find(key);
+    if (it != pairRuns_.end())
+        return it->second;
+
+    PairOptions pair = basePairOptions(bg_continuous);
+    const unsigned total = opts_.system.hierarchy.llc.ways;
+
+    switch (policy) {
+      case Policy::Shared:
+        // Leave both masks at "all ways".
+        break;
+      case Policy::Fair: {
+        const SplitMasks m = policyMasks(Policy::Fair, total);
+        pair.fgMask = m.fg;
+        pair.bgMask = m.bg;
+        break;
+      }
+      case Policy::Biased: {
+        const BiasedSearchResult &b = biased();
+        pair.fgMask = b.masks.fg;
+        pair.bgMask = b.masks.bg;
+        break;
+      }
+      case Policy::Dynamic: {
+        const SplitMasks m = policyMasks(Policy::Dynamic, total);
+        pair.fgMask = m.fg;
+        pair.bgMask = m.bg;
+        dynCtrl_ = std::make_unique<DynamicPartitioner>(
+            AppId{0}, std::vector<AppId>{1}, opts_.dynamic);
+        pair.controller = dynCtrl_.get();
+        break;
+      }
+    }
+
+    return pairRuns_.emplace(key, runPair(fg_, bg_, pair)).first->second;
+}
+
+ConsolidationSummary
+CoScheduler::summarize(Policy policy)
+{
+    ConsolidationSummary s;
+    s.policy = policy;
+
+    // Responsiveness and throughput: continuous background (§5.1, §6.4).
+    const PairResult &cont = runPolicy(policy, true);
+    const Seconds solo_half = fgSoloHalf().time;
+    capart_assert(solo_half > 0.0);
+    s.fgSlowdown = cont.fgTime / solo_half;
+    s.bgThroughput = cont.bgThroughput;
+
+    // Energy and weighted speedup: run each app once (Figs. 10, 11).
+    const PairResult &once = runPolicy(policy, false);
+    const Seconds seq_time = fgSoloFull().time + bgSoloFull().time;
+    const Joules seq_socket =
+        fgSoloFull().socketEnergy + bgSoloFull().socketEnergy;
+    const Joules seq_wall =
+        fgSoloFull().wallEnergy + bgSoloFull().wallEnergy;
+    const Seconds makespan =
+        std::max(once.fg.completionTime, once.bg.completionTime);
+    capart_assert(makespan > 0.0);
+    s.energyVsSequential = once.socketEnergy / seq_socket;
+    s.wallEnergyVsSequential = once.wallEnergy / seq_wall;
+    s.weightedSpeedup = seq_time / makespan;
+
+    switch (policy) {
+      case Policy::Shared:
+        s.fgWays = opts_.system.hierarchy.llc.ways;
+        break;
+      case Policy::Fair:
+        s.fgWays = opts_.system.hierarchy.llc.ways / 2;
+        break;
+      case Policy::Biased:
+        s.fgWays = biased().fgWays;
+        break;
+      case Policy::Dynamic:
+        s.fgWays = dynCtrl_ ? dynCtrl_->fgWays() : 0;
+        break;
+    }
+    return s;
+}
+
+} // namespace capart

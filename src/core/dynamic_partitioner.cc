@@ -1,0 +1,97 @@
+#include "core/dynamic_partitioner.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+
+namespace capart
+{
+
+DynamicPartitioner::DynamicPartitioner(AppId fg, std::vector<AppId> bgs,
+                                       const DynamicPartitionerConfig &cfg)
+    : fg_(fg), bgs_(std::move(bgs)), cfg_(cfg), detector_(cfg.detector)
+{
+    capart_assert(cfg_.minFgWays >= 1);
+    capart_assert(cfg_.maxFgWays > cfg_.minFgWays);
+    fgWays_ = cfg_.maxFgWays;
+}
+
+void
+DynamicPartitioner::apply(System &sys, unsigned fg_ways)
+{
+    capart_assert(fg_ways >= cfg_.minFgWays &&
+                  fg_ways <= cfg_.maxFgWays);
+    const unsigned total = sys.llcWays();
+    capart_assert(fg_ways < total);
+    const SplitMasks masks = splitWays(fg_ways, total);
+    sys.setWayMask(fg_, masks.fg);
+    for (const AppId bg : bgs_)
+        sys.setWayMask(bg, masks.bg);
+    if (fg_ways != fgWays_ || !installed_)
+        ++reallocations_;
+    fgWays_ = fg_ways;
+    installed_ = true;
+}
+
+void
+DynamicPartitioner::onWindow(System &sys, AppId app, const PerfWindow &w)
+{
+    if (app != fg_)
+        return;
+
+    // "When the foreground application starts or changes phase, the
+    // framework gives the application as much cache as possible" (§6.3)
+    // — application start counts as a phase start, so the controller
+    // immediately begins probing downward.
+    if (!installed_) {
+        apply(sys, cfg_.maxFgWays);
+        phaseStarts_ = true;
+    }
+
+    // Smooth the windowed MPKI: scaled-down runs have real sampling
+    // noise per window (see DynamicPartitionerConfig).
+    if (!haveSmoothed_) {
+        smoothed_ = w.mpki;
+        haveSmoothed_ = true;
+    } else {
+        smoothed_ += cfg_.mpkiSmoothing * (w.mpki - smoothed_);
+    }
+    const double mpki = smoothed_;
+
+    const PhaseEvent ev = detector_.step(mpki);
+
+    if (ev == PhaseEvent::NewPhase) {
+        // A new phase begins: give the foreground everything we can,
+        // then probe downward from there (Algorithm 6.2).
+        phaseStarts_ = true;
+        apply(sys, cfg_.maxFgWays);
+    } else if (ev == PhaseEvent::Stable && phaseStarts_) {
+        // The shrink probe compares *raw* successive windows: the
+        // reaction to a one-way shrink must not be averaged away.
+        const double denom =
+            std::max(std::abs(lastMpki_), cfg_.minDenominator);
+        const double delta =
+            haveLast_ ? std::abs(lastMpki_ - w.mpki) / denom : 0.0;
+        if (delta < cfg_.thr3) {
+            // Shrinking did not hurt: release another way to the
+            // background, until the floor.
+            if (fgWays_ > cfg_.minFgWays)
+                apply(sys, fgWays_ - 1);
+            else
+                phaseStarts_ = false;
+        } else {
+            // The last shrink showed up in the MPKI: give the way
+            // back and settle at the previous allocation.
+            if (fgWays_ < cfg_.maxFgWays)
+                apply(sys, fgWays_ + 1);
+            phaseStarts_ = false;
+        }
+    }
+
+    lastMpki_ = w.mpki;
+    haveLast_ = true;
+    history_.push_back(AllocationEvent{w.end, fgWays_, mpki, ev});
+}
+
+} // namespace capart

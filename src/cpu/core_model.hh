@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Analytic out-of-order core timing model with SMT.
+ *
+ * The simulator advances each hardware thread in instruction quanta; this
+ * model converts a quantum's event counts into cycles. The core is the
+ * paper's quad-issue OoO Sandy Bridge core with two hyperthreads (§2.1):
+ *
+ *   cycles = insts / (baseIpc * smtFactor)
+ *          + exposed L2 / LLC hit penalties
+ *          + llcMisses * memLatency / MLP
+ *
+ * Out-of-order execution hides most L2 latency, some LLC latency, and
+ * overlaps DRAM misses up to the workload's memory-level parallelism.
+ */
+
+#ifndef CAPART_CPU_CORE_MODEL_HH
+#define CAPART_CPU_CORE_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace capart
+{
+
+/** Static core parameters. */
+struct CpuConfig
+{
+    double freqHz = ghz(3.4);
+    /**
+     * Per-hyperthread throughput multiplier when the sibling hyperthread
+     * is simultaneously active. 0.62 per thread yields the ~1.24x
+     * combined SMT throughput typical of Sandy Bridge.
+     */
+    double smtFactor = 0.62;
+    /** Fraction of L2 hit latency the OoO window cannot hide. */
+    double l2Exposed = 0.35;
+    /** Fraction of LLC hit latency the OoO window cannot hide. */
+    double llcExposed = 0.65;
+    /** Ceiling on per-thread MLP imposed by the MSHRs. */
+    double maxMlp = 10.0;
+};
+
+/** Load-to-use latencies of the cache levels, in core cycles. */
+struct HierarchyLatencies
+{
+    Cycles l1 = 4;
+    Cycles l2 = 12;
+    Cycles llc = 30;
+};
+
+/** Event counts for one executed quantum of one hardware thread. */
+struct QuantumCounts
+{
+    Insts insts = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t llcMisses = 0; //!< serviced by DRAM
+    /** Extra ring cycles per LLC-level access under current load. */
+    Cycles ringExtra = 0;
+    /** Effective DRAM latency under current load. */
+    Cycles memLatency = 0;
+};
+
+/** Converts quantum event counts to cycles. */
+class CoreTimingModel
+{
+  public:
+    explicit CoreTimingModel(const CpuConfig &cfg = CpuConfig{})
+        : cfg_(cfg)
+    {
+    }
+
+    /**
+     * Cycles consumed by a quantum.
+     *
+     * @param q         event counts.
+     * @param base_ipc  the workload's compute IPC (all hits in L1).
+     * @param mlp       the workload's achievable memory-level parallelism.
+     * @param smt_peer  the sibling hyperthread was active concurrently.
+     */
+    Cycles quantumCycles(const QuantumCounts &q, double base_ipc,
+                         double mlp, bool smt_peer,
+                         const HierarchyLatencies &lat) const;
+
+    Seconds
+    cyclesToSeconds(Cycles c) const
+    {
+        return static_cast<double>(c) / cfg_.freqHz;
+    }
+
+    const CpuConfig &config() const { return cfg_; }
+
+  private:
+    CpuConfig cfg_;
+};
+
+} // namespace capart
+
+#endif // CAPART_CPU_CORE_MODEL_HH

@@ -1,0 +1,137 @@
+#include "dram/dram_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace capart
+{
+
+namespace
+{
+
+constexpr unsigned kMaxFlows = 64;
+
+BandwidthDomainConfig
+toDomainConfig(const DramConfig &cfg)
+{
+    BandwidthDomainConfig d;
+    d.peakBytesPerSec = cfg.peakBytesPerSec;
+    d.baseLatency = cfg.baseLatency;
+    d.maxQueueFactor = cfg.maxQueueFactor;
+    d.queueGain = cfg.queueGain;
+    return d;
+}
+
+} // namespace
+
+DramModel::DramModel(const DramConfig &cfg)
+    : cfg_(cfg), domain_(toDomainConfig(cfg))
+{
+}
+
+RateWindow &
+DramModel::flowWindow(std::vector<RateWindow> &set, unsigned flow)
+{
+    capart_assert(flow < kMaxFlows);
+    const BandwidthDomainConfig &d = domain_.config();
+    while (set.size() <= flow)
+        set.emplace_back(d.bucketWidth, d.buckets);
+    return set[flow];
+}
+
+void
+DramModel::recordRead(Seconds now, unsigned lines, unsigned flow)
+{
+    reads_ += lines;
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(lines) * kLineBytes;
+    domain_.record(now, bytes);
+    flowWindow(flows_, flow).record(now, bytes);
+}
+
+void
+DramModel::recordWrite(Seconds now, unsigned lines, unsigned flow)
+{
+    writes_ += lines;
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(lines) * kLineBytes;
+    domain_.record(now, bytes);
+    flowWindow(flows_, flow).record(now, bytes);
+}
+
+void
+DramModel::recordUncached(Seconds now, std::uint64_t bytes, unsigned flow)
+{
+    uncached_ += bytes;
+    domain_.record(now, bytes);
+    flowWindow(flows_, flow).record(now, bytes);
+}
+
+void
+DramModel::recordDemand(Seconds now, std::uint64_t amount, unsigned flow)
+{
+    flowWindow(demands_, flow).record(now, amount);
+}
+
+Cycles
+DramModel::effectiveLatency(Seconds now) const
+{
+    return domain_.effectiveLatency(now);
+}
+
+double
+DramModel::utilization(Seconds now) const
+{
+    return domain_.utilization(now);
+}
+
+double
+DramModel::flowRate(Seconds now, unsigned flow) const
+{
+    if (flow >= flows_.size())
+        return 0.0;
+    return flows_[flow].rate(now);
+}
+
+double
+DramModel::demandRate(Seconds now, unsigned flow) const
+{
+    if (flow >= demands_.size())
+        return 0.0;
+    return demands_[flow].rate(now);
+}
+
+double
+DramModel::availableFor(Seconds now, unsigned flow) const
+{
+    const double peak = cfg_.peakBytesPerSec;
+    // Per-flow demand, capped: one flow cannot claim arbitrarily large
+    // scheduler weight no matter how fast it *could* issue.
+    const double cap = peak;
+    double mine = 0.0;
+    double total = 0.0;
+    for (unsigned f = 0; f < demands_.size(); ++f) {
+        const double d = std::min(demands_[f].rate(now), cap);
+        total += d;
+        if (f == flow)
+            mine = d;
+    }
+    double avail;
+    if (total <= peak) {
+        // Undersubscribed: a flow may take whatever the others leave.
+        avail = peak - (total - mine);
+    } else {
+        // Oversubscribed: proportional share by demand weight.
+        avail = mine > 0.0 ? peak * mine / total : peak * cfg_.minShare;
+    }
+    return std::max(avail, cfg_.minShare * peak);
+}
+
+std::uint64_t
+DramModel::totalBytes() const
+{
+    return (reads_ + writes_) * kLineBytes + uncached_;
+}
+
+} // namespace capart

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Activity-based socket and wall energy accounting (§2.2, §4).
+ *
+ * Socket energy covers cores, private caches, and the LLC — what the
+ * paper reads through RAPL. Wall energy adds DRAM and rest-of-system
+ * power, which the paper measured with an external meter. Socket power
+ * deliberately does *not* depend on the LLC way allocation: the hardware
+ * cannot power-gate ways (§4), so partitioning only saves energy by
+ * changing runtime and DRAM traffic — the effect the paper measures.
+ */
+
+#ifndef CAPART_ENERGY_ENERGY_MODEL_HH
+#define CAPART_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace capart
+{
+
+/** Power/energy coefficients of the modeled platform. */
+struct EnergyConfig
+{
+    /** Package power with all cores idle (uncore + LLC static). */
+    Watts socketIdle = 9.0;
+    /** Extra power of one core executing with one hyperthread. */
+    Watts coreActive = 5.0;
+    /** Additional power when the second hyperthread is also active. */
+    Watts htExtra = 1.2;
+    /** Energy per LLC lookup (demand or prefetch). */
+    Joules llcAccessEnergy = 1.0e-9;
+    /** Energy per 64-byte line moved to/from DRAM (wall only). */
+    Joules dramLineEnergy = 20.0e-9;
+    /** DRAM background power (wall only). */
+    Watts dramBackground = 2.5;
+    /** Rest-of-system power at the wall (board, VRs, PSU loss, disk). */
+    Watts wallRest = 28.0;
+};
+
+/**
+ * Integrates socket and wall energy from simulator activity reports.
+ * The simulator reports (a) per-hyperthread busy intervals and (b)
+ * discrete memory events; idle/static power is charged against total
+ * elapsed simulated time when energy is read.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyConfig &cfg = EnergyConfig{})
+        : cfg_(cfg)
+    {
+    }
+
+    /**
+     * Charge a busy interval of @p dt seconds on one hyperthread.
+     * @param smt_peer_active  the sibling hyperthread was busy too; the
+     *        pair splits one coreActive plus one htExtra between them.
+     */
+    void
+    addBusy(Seconds dt, bool smt_peer_active)
+    {
+        const Watts p = smt_peer_active
+            ? (cfg_.coreActive + cfg_.htExtra) * 0.5
+            : cfg_.coreActive;
+        dynamicSocket_ += p * dt;
+    }
+
+    /** Charge @p n LLC lookups. */
+    void
+    addLlcAccesses(std::uint64_t n)
+    {
+        dynamicSocket_ += cfg_.llcAccessEnergy * static_cast<double>(n);
+    }
+
+    /** Charge @p lines cache lines moved over the DRAM interface. */
+    void
+    addDramLines(std::uint64_t lines)
+    {
+        dramEnergy_ += cfg_.dramLineEnergy * static_cast<double>(lines);
+    }
+
+    /** Charge @p bytes of uncached streaming DRAM traffic. */
+    void
+    addDramBytes(std::uint64_t bytes)
+    {
+        dramEnergy_ += cfg_.dramLineEnergy *
+                       (static_cast<double>(bytes) / kLineBytes);
+    }
+
+    /** Socket (RAPL-visible) energy after @p elapsed simulated seconds. */
+    Joules
+    socketEnergy(Seconds elapsed) const
+    {
+        return cfg_.socketIdle * elapsed + dynamicSocket_;
+    }
+
+    /** Wall energy after @p elapsed simulated seconds. */
+    Joules
+    wallEnergy(Seconds elapsed) const
+    {
+        return socketEnergy(elapsed) + dramEnergy_ +
+               (cfg_.dramBackground + cfg_.wallRest) * elapsed;
+    }
+
+    const EnergyConfig &config() const { return cfg_; }
+
+  private:
+    EnergyConfig cfg_;
+    Joules dynamicSocket_ = 0.0;
+    Joules dramEnergy_ = 0.0;
+};
+
+} // namespace capart
+
+#endif // CAPART_ENERGY_ENERGY_MODEL_HH

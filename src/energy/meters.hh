@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Quantized energy readers mirroring the paper's instruments (§2.2):
+ * the RAPL counters update at 1/2^16-second granularity, and the FitPC
+ * wall meter samples once per second.
+ */
+
+#ifndef CAPART_ENERGY_METERS_HH
+#define CAPART_ENERGY_METERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace capart
+{
+
+/**
+ * A counter that exposes a continuously integrated energy only at fixed
+ * update intervals, like the RAPL MSRs (updates every 2^-16 s) or a wall
+ * power meter (updates every second).
+ */
+class QuantizedEnergyCounter
+{
+  public:
+    /** @param interval seconds between visible updates. */
+    explicit QuantizedEnergyCounter(Seconds interval)
+        : interval_(interval)
+    {
+    }
+
+    /** RAPL-style counter: 2^-16 s update period. */
+    static QuantizedEnergyCounter
+    rapl()
+    {
+        return QuantizedEnergyCounter(1.0 / 65536.0);
+    }
+
+    /** Wall-meter-style counter: 1 s update period. */
+    static QuantizedEnergyCounter
+    wallMeter()
+    {
+        return QuantizedEnergyCounter(1.0);
+    }
+
+    /** Feed the true integrated energy at simulated time @p now. */
+    void
+    update(Seconds now, Joules true_energy)
+    {
+        while (now >= nextUpdate_) {
+            // The counter latches the most recent value it was fed when
+            // an update boundary passes.
+            visible_ = latched_;
+            nextUpdate_ += interval_;
+        }
+        latched_ = true_energy;
+    }
+
+    /** Last value visible to software. */
+    Joules read() const { return visible_; }
+
+    Seconds interval() const { return interval_; }
+
+  private:
+    Seconds interval_;
+    Seconds nextUpdate_ = 0.0;
+    Joules latched_ = 0.0;
+    Joules visible_ = 0.0;
+};
+
+/** One timestamped power sample. */
+struct PowerSample
+{
+    Seconds time = 0.0;
+    Watts power = 0.0;
+};
+
+/**
+ * Derives a power trace from successive energy readings, the way the
+ * paper correlates wall samples with RAPL via timestamps.
+ */
+class PowerTrace
+{
+  public:
+    /** Record an energy reading at time @p now. */
+    void
+    sample(Seconds now, Joules energy)
+    {
+        if (hasLast_ && now > lastTime_) {
+            samples_.push_back(PowerSample{
+                now, (energy - lastEnergy_) / (now - lastTime_)});
+        }
+        lastTime_ = now;
+        lastEnergy_ = energy;
+        hasLast_ = true;
+    }
+
+    const std::vector<PowerSample> &samples() const { return samples_; }
+
+  private:
+    bool hasLast_ = false;
+    Seconds lastTime_ = 0.0;
+    Joules lastEnergy_ = 0.0;
+    std::vector<PowerSample> samples_;
+};
+
+} // namespace capart
+
+#endif // CAPART_ENERGY_METERS_HH

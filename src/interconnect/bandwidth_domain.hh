@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A shared, unpartitionable bandwidth resource with queueing delay.
+ *
+ * Both the on-chip ring interconnect and the off-chip DRAM interface are
+ * modeled this way: traffic from all hardware threads shares a peak
+ * rate, and latency inflates as utilization approaches saturation
+ * (M/M/1-flavoured 1/(1-u) growth, clamped). The paper identifies these
+ * two domains as the resources partitioning *cannot* protect (§3.4, §8).
+ */
+
+#ifndef CAPART_INTERCONNECT_BANDWIDTH_DOMAIN_HH
+#define CAPART_INTERCONNECT_BANDWIDTH_DOMAIN_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "stats/rate_window.hh"
+
+namespace capart
+{
+
+/** Static parameters of one bandwidth domain. */
+struct BandwidthDomainConfig
+{
+    /** Sustained peak in bytes/second. */
+    double peakBytesPerSec = 21e9;
+    /** Unloaded access latency in core cycles. */
+    Cycles baseLatency = 180;
+    /** Latency cap as a multiple of baseLatency when saturated. */
+    double maxQueueFactor = 8.0;
+    /** Queueing sensitivity: latency = base*(1 + k*u/(1-u)). */
+    double queueGain = 0.35;
+    /** Sliding-window bucket width for utilization estimation. */
+    Seconds bucketWidth = 25e-6;
+    /** Number of buckets in the utilization window. */
+    unsigned buckets = 8;
+};
+
+/** Runtime state of a bandwidth domain. */
+class BandwidthDomain
+{
+  public:
+    explicit BandwidthDomain(const BandwidthDomainConfig &cfg)
+        : cfg_(cfg), window_(cfg.bucketWidth, cfg.buckets)
+    {
+    }
+
+    /** Account @p bytes of traffic at simulated time @p now. */
+    void
+    record(Seconds now, std::uint64_t bytes)
+    {
+        window_.record(now, bytes);
+    }
+
+    /** Fraction of peak currently consumed, clamped to [0, 1). */
+    double
+    utilization(Seconds now) const
+    {
+        const double u = window_.rate(now) / cfg_.peakBytesPerSec;
+        // Clamp just below 1 so the queueing term stays finite; the
+        // latency cap below bounds the result anyway.
+        return u < 0.0 ? 0.0 : (u > 0.995 ? 0.995 : u);
+    }
+
+    /** Effective access latency under the current load. */
+    Cycles
+    effectiveLatency(Seconds now) const
+    {
+        const double u = utilization(now);
+        const double factor = 1.0 + cfg_.queueGain * u / (1.0 - u);
+        const double capped =
+            factor > cfg_.maxQueueFactor ? cfg_.maxQueueFactor : factor;
+        return static_cast<Cycles>(
+            static_cast<double>(cfg_.baseLatency) * capped);
+    }
+
+    /** Total bytes ever moved through the domain. */
+    std::uint64_t totalBytes() const { return window_.total(); }
+
+    const BandwidthDomainConfig &config() const { return cfg_; }
+
+  private:
+    BandwidthDomainConfig cfg_;
+    RateWindow window_;
+};
+
+} // namespace capart
+
+#endif // CAPART_INTERCONNECT_BANDWIDTH_DOMAIN_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The on-chip ring interconnect between cores and LLC slices.
+ *
+ * Every LLC access (demand, prefetch, or uncached stream) crosses the
+ * ring; heavy aggregate traffic inflates LLC access latency for all
+ * sharers. The ring cannot be partitioned on the paper's hardware.
+ */
+
+#ifndef CAPART_INTERCONNECT_RING_HH
+#define CAPART_INTERCONNECT_RING_HH
+
+#include "interconnect/bandwidth_domain.hh"
+
+namespace capart
+{
+
+/** Ring interconnect: a high-peak, low-latency bandwidth domain. */
+class RingInterconnect
+{
+  public:
+    /** Sandy Bridge client ring: ~100 GB/s, a handful of hop cycles. */
+    static BandwidthDomainConfig
+    defaultConfig()
+    {
+        BandwidthDomainConfig cfg;
+        cfg.peakBytesPerSec = 100e9;
+        cfg.baseLatency = 8;
+        cfg.maxQueueFactor = 4.0;
+        cfg.queueGain = 0.25;
+        return cfg;
+    }
+
+    explicit RingInterconnect(
+        const BandwidthDomainConfig &cfg = defaultConfig())
+        : domain_(cfg)
+    {
+    }
+
+    BandwidthDomain &domain() { return domain_; }
+    const BandwidthDomain &domain() const { return domain_; }
+
+    /** Extra cycles an LLC access pays for ring occupancy right now. */
+    Cycles
+    extraLatency(Seconds now) const
+    {
+        return domain_.effectiveLatency(now) - domain_.config().baseLatency;
+    }
+
+  private:
+    BandwidthDomain domain_;
+};
+
+} // namespace capart
+
+#endif // CAPART_INTERCONNECT_RING_HH

@@ -1,0 +1,181 @@
+#include "mem/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace capart
+{
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &cfg,
+                               unsigned num_cores, std::uint64_t seed)
+    : cfg_(cfg)
+{
+    capart_assert(num_cores >= 1);
+    for (unsigned c = 0; c < num_cores; ++c) {
+        l1_.push_back(std::make_unique<SetAssocCache>(cfg.l1, seed + c));
+        l2_.push_back(
+            std::make_unique<SetAssocCache>(cfg.l2, seed + 100 + c));
+    }
+    llc_ = std::make_unique<SetAssocCache>(cfg.llc, seed + 1000);
+}
+
+void
+CacheHierarchy::writebackToLlc(unsigned slot, Addr line,
+                               HierarchyOutcome &out)
+{
+    // A dirty L2 victim normally hits in the inclusive LLC; if the LLC
+    // already dropped the line (it back-invalidates on its own evictions,
+    // so this means the writeback raced a remask), re-install it.
+    if (llc_->markDirty(line))
+        return;
+    const CacheAccessResult res = llc_->fill(line, true, slot);
+    if (res.evicted)
+        handleLlcEviction(res, out);
+}
+
+void
+CacheHierarchy::writebackToL2(CoreId core, unsigned slot, Addr line,
+                              HierarchyOutcome &out)
+{
+    // Non-inclusive L2: the line may or may not be resident. Allocate on
+    // writeback (victim cache behaviour), cascading any dirty L2 victim.
+    if (l2_[core]->markDirty(line))
+        return;
+    const CacheAccessResult res = l2_[core]->fill(line, true, 0);
+    if (res.evicted && res.victimDirty)
+        writebackToLlc(slot, res.victimLine, out);
+}
+
+void
+CacheHierarchy::handleLlcEviction(const CacheAccessResult &res,
+                                  HierarchyOutcome &out)
+{
+    capart_assert(res.evicted);
+    bool dirty = res.victimDirty;
+    // Inclusive LLC: no inner cache may keep a line the LLC evicts.
+    for (unsigned c = 0; c < numCores(); ++c) {
+        const InvalidateResult i1 = l1_[c]->invalidate(res.victimLine);
+        dirty = dirty || i1.wasDirty;
+        const InvalidateResult i2 = l2_[c]->invalidate(res.victimLine);
+        dirty = dirty || i2.wasDirty;
+    }
+    if (dirty)
+        ++out.dramWrites;
+}
+
+HierarchyOutcome
+CacheHierarchy::access(CoreId core, unsigned slot, Addr byte_addr,
+                       bool write)
+{
+    capart_assert(core < numCores());
+    HierarchyOutcome out;
+    const Addr line = lineAddr(byte_addr);
+
+    // L1 lookup. On a miss the line is allocated immediately; the
+    // displaced victim spills into the L2.
+    const CacheAccessResult r1 = l1_[core]->access(line, write, 0);
+    if (r1.hit) {
+        out.servedBy = ServiceLevel::L1;
+        return out;
+    }
+    if (r1.evicted && r1.victimDirty)
+        writebackToL2(core, slot, r1.victimLine, out);
+
+    const CacheAccessResult r2 = l2_[core]->access(line, false, 0);
+    if (r2.evicted && r2.victimDirty)
+        writebackToLlc(slot, r2.victimLine, out);
+    if (r2.hit) {
+        out.servedBy = ServiceLevel::L2;
+        return out;
+    }
+
+    out.llcAccess = true;
+    const CacheAccessResult r3 = llc_->access(line, false, slot);
+    if (r3.evicted)
+        handleLlcEviction(r3, out);
+    if (r3.hit) {
+        out.servedBy = ServiceLevel::LLC;
+        return out;
+    }
+
+    out.servedBy = ServiceLevel::Memory;
+    ++out.dramReads;
+    return out;
+}
+
+void
+CacheHierarchy::ensureInLlc(unsigned slot, Addr line, HierarchyOutcome &out)
+{
+    if (llc_->touchLine(line)) {
+        // Already resident; refreshed recency so the prefetched line is
+        // not the next victim.
+        return;
+    }
+    out.llcAccess = true;
+    ++out.dramReads;
+    const CacheAccessResult res = llc_->fill(line, false, slot);
+    if (res.evicted)
+        handleLlcEviction(res, out);
+}
+
+HierarchyOutcome
+CacheHierarchy::prefetchIntoL1(CoreId core, unsigned slot, Addr line)
+{
+    capart_assert(core < numCores());
+    HierarchyOutcome out;
+    if (l1_[core]->probe(line))
+        return out;
+
+    if (!l2_[core]->probe(line))
+        ensureInLlc(slot, line, out);
+
+    const CacheAccessResult r1 = l1_[core]->fill(line, false, 0);
+    if (r1.evicted && r1.victimDirty)
+        writebackToL2(core, slot, r1.victimLine, out);
+    return out;
+}
+
+HierarchyOutcome
+CacheHierarchy::prefetchIntoL2(CoreId core, unsigned slot, Addr line)
+{
+    capart_assert(core < numCores());
+    HierarchyOutcome out;
+    if (l2_[core]->probe(line) || l1_[core]->probe(line))
+        return out;
+
+    ensureInLlc(slot, line, out);
+
+    const CacheAccessResult r2 = l2_[core]->fill(line, false, 0);
+    if (r2.evicted && r2.victimDirty)
+        writebackToLlc(slot, r2.victimLine, out);
+    return out;
+}
+
+void
+CacheHierarchy::setLlcPartition(unsigned slot, WayMask mask)
+{
+    llc_->setPartitionMask(slot, mask);
+}
+
+WayMask
+CacheHierarchy::llcPartition(unsigned slot) const
+{
+    return llc_->partitionMask(slot);
+}
+
+Cycles
+CacheHierarchy::latency(ServiceLevel level, Cycles mem_latency) const
+{
+    switch (level) {
+      case ServiceLevel::L1:
+        return cfg_.l1Latency;
+      case ServiceLevel::L2:
+        return cfg_.l2Latency;
+      case ServiceLevel::LLC:
+        return cfg_.llcLatency;
+      case ServiceLevel::Memory:
+        return cfg_.llcLatency + mem_latency;
+    }
+    capart_panic("unknown service level");
+}
+
+} // namespace capart

@@ -1,0 +1,187 @@
+#include "mem/replacement.hh"
+
+#include <bit>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace capart
+{
+
+std::unique_ptr<ReplacementState>
+ReplacementState::create(const CacheConfig &cfg, std::uint64_t seed)
+{
+    const std::uint64_t sets = cfg.sets();
+    switch (cfg.repl) {
+      case ReplPolicy::LRU:
+        return std::make_unique<LruState>(sets, cfg.ways);
+      case ReplPolicy::BitPLRU:
+        return std::make_unique<BitPlruState>(sets, cfg.ways);
+      case ReplPolicy::NRU:
+        return std::make_unique<NruState>(sets, cfg.ways);
+      case ReplPolicy::Random:
+        return std::make_unique<RandomState>(cfg.ways, seed);
+    }
+    capart_panic("unknown replacement policy");
+}
+
+// ---------------------------------------------------------------- LRU --
+
+LruState::LruState(std::uint64_t sets, unsigned ways)
+    : ways_(ways), age_(sets * ways, 0), clock_(sets, 0)
+{
+}
+
+void
+LruState::touch(std::uint64_t set, unsigned way)
+{
+    age_[set * ways_ + way] = ++clock_[set];
+}
+
+unsigned
+LruState::victim(std::uint64_t set, WayMask allowed, std::uint32_t valid)
+{
+    capart_assert(!allowed.empty());
+    const int inv = firstInvalid(allowed, valid);
+    if (inv >= 0)
+        return static_cast<unsigned>(inv);
+
+    unsigned best = 0;
+    std::uint32_t best_age = std::numeric_limits<std::uint32_t>::max();
+    bool found = false;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!allowed.contains(w))
+            continue;
+        const std::uint32_t a = age_[set * ways_ + w];
+        if (!found || a < best_age) {
+            best = w;
+            best_age = a;
+            found = true;
+        }
+    }
+    capart_assert(found);
+    return best;
+}
+
+void
+LruState::invalidate(std::uint64_t set, unsigned way)
+{
+    age_[set * ways_ + way] = 0;
+}
+
+// ----------------------------------------------------------- bit-PLRU --
+
+BitPlruState::BitPlruState(std::uint64_t sets, unsigned ways)
+    : ways_(ways), mru_(sets, 0)
+{
+    capart_assert(ways <= 32);
+}
+
+void
+BitPlruState::touch(std::uint64_t set, unsigned way)
+{
+    std::uint32_t &bits = mru_[set];
+    bits |= (1u << way);
+    // Saturation: when every way is marked MRU, restart the epoch but
+    // keep the just-touched way marked.
+    const std::uint32_t full = (ways_ >= 32) ? ~0u : ((1u << ways_) - 1u);
+    if ((bits & full) == full)
+        bits = (1u << way);
+}
+
+unsigned
+BitPlruState::victim(std::uint64_t set, WayMask allowed, std::uint32_t valid)
+{
+    capart_assert(!allowed.empty());
+    const int inv = firstInvalid(allowed, valid);
+    if (inv >= 0)
+        return static_cast<unsigned>(inv);
+
+    const std::uint32_t clear = allowed.bits() & ~mru_[set];
+    if (clear != 0)
+        return static_cast<unsigned>(std::countr_zero(clear));
+    // Every allowed way is MRU-marked: treat the mask as one epoch and
+    // take the lowest allowed way (hardware clears and picks way 0).
+    mru_[set] &= ~allowed.bits();
+    return static_cast<unsigned>(std::countr_zero(allowed.bits()));
+}
+
+void
+BitPlruState::invalidate(std::uint64_t set, unsigned way)
+{
+    mru_[set] &= ~(1u << way);
+}
+
+// ---------------------------------------------------------------- NRU --
+
+NruState::NruState(std::uint64_t sets, unsigned ways)
+    : ways_(ways), ref_(sets, 0)
+{
+    capart_assert(ways <= 32);
+}
+
+void
+NruState::touch(std::uint64_t set, unsigned way)
+{
+    ref_[set] |= (1u << way);
+}
+
+unsigned
+NruState::victim(std::uint64_t set, WayMask allowed, std::uint32_t valid)
+{
+    capart_assert(!allowed.empty());
+    const int inv = firstInvalid(allowed, valid);
+    if (inv >= 0)
+        return static_cast<unsigned>(inv);
+
+    std::uint32_t clear = allowed.bits() & ~ref_[set];
+    if (clear == 0) {
+        // No not-recently-used candidate: clear reference bits (the NRU
+        // "second chance" sweep) and retry.
+        ref_[set] &= ~allowed.bits();
+        clear = allowed.bits();
+    }
+    return static_cast<unsigned>(std::countr_zero(clear));
+}
+
+void
+NruState::invalidate(std::uint64_t set, unsigned way)
+{
+    ref_[set] &= ~(1u << way);
+}
+
+// ------------------------------------------------------------- random --
+
+RandomState::RandomState(unsigned ways, std::uint64_t seed)
+    : rng_(seed)
+{
+    capart_assert(ways <= 32);
+}
+
+void
+RandomState::touch(std::uint64_t, unsigned)
+{
+}
+
+unsigned
+RandomState::victim(std::uint64_t, WayMask allowed, std::uint32_t valid)
+{
+    capart_assert(!allowed.empty());
+    const int inv = firstInvalid(allowed, valid);
+    if (inv >= 0)
+        return static_cast<unsigned>(inv);
+
+    const unsigned n = allowed.count();
+    unsigned pick = static_cast<unsigned>(rng_.below(n));
+    std::uint32_t bits = allowed.bits();
+    while (pick--)
+        bits &= bits - 1; // drop lowest set bit
+    return static_cast<unsigned>(std::countr_zero(bits));
+}
+
+void
+RandomState::invalidate(std::uint64_t, unsigned)
+{
+}
+
+} // namespace capart

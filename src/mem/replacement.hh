@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Per-set replacement-state machines.
+ *
+ * All policies implement victim selection *restricted to a way mask*,
+ * which is exactly how the paper's hardware implements partitioning:
+ * the replacement algorithm is modified, nothing else (§2.1).
+ */
+
+#ifndef CAPART_MEM_REPLACEMENT_HH
+#define CAPART_MEM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/cache_config.hh"
+#include "mem/way_mask.hh"
+
+namespace capart
+{
+
+/**
+ * Replacement state for every set of one cache. Concrete policies keep
+ * their own compact per-set arrays.
+ */
+class ReplacementState
+{
+  public:
+    virtual ~ReplacementState() = default;
+
+    /** Record a use (hit or fill) of @p way in @p set. */
+    virtual void touch(std::uint64_t set, unsigned way) = 0;
+
+    /**
+     * Pick a victim way within @p allowed for @p set. @p valid marks ways
+     * currently holding data; invalid allowed ways are preferred.
+     * @return the chosen way index.
+     */
+    virtual unsigned victim(std::uint64_t set, WayMask allowed,
+                            std::uint32_t valid) = 0;
+
+    /** Forget @p way in @p set (back-invalidation). */
+    virtual void invalidate(std::uint64_t set, unsigned way) = 0;
+
+    /** Factory for the policy named in @p cfg. */
+    static std::unique_ptr<ReplacementState> create(const CacheConfig &cfg,
+                                                    std::uint64_t seed);
+
+  protected:
+    /** First allowed-but-invalid way, or -1 if none. */
+    static int
+    firstInvalid(WayMask allowed, std::uint32_t valid)
+    {
+        const std::uint32_t candidates = allowed.bits() & ~valid;
+        if (candidates == 0)
+            return -1;
+        return std::countr_zero(candidates);
+    }
+};
+
+/** Exact LRU via per-set age counters (O(ways) per operation). */
+class LruState : public ReplacementState
+{
+  public:
+    LruState(std::uint64_t sets, unsigned ways);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set, WayMask allowed,
+                    std::uint32_t valid) override;
+    void invalidate(std::uint64_t set, unsigned way) override;
+
+  private:
+    unsigned ways_;
+    /** age[set*ways + way]; larger == more recently used. */
+    std::vector<std::uint32_t> age_;
+    std::vector<std::uint32_t> clock_;
+};
+
+/**
+ * Bit-PLRU: one MRU bit per way; victim is the first allowed way with a
+ * clear bit; when all allowed bits saturate they are cleared. This is the
+ * flavour of pseudo-LRU that, combined with hashed indexing, removes the
+ * sharp working-set knees the paper observed missing on real hardware.
+ */
+class BitPlruState : public ReplacementState
+{
+  public:
+    BitPlruState(std::uint64_t sets, unsigned ways);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set, WayMask allowed,
+                    std::uint32_t valid) override;
+    void invalidate(std::uint64_t set, unsigned way) override;
+
+  private:
+    unsigned ways_;
+    std::vector<std::uint32_t> mru_; //!< one bitmask per set
+};
+
+/** NRU: like bit-PLRU but bits clear only when no victim is found. */
+class NruState : public ReplacementState
+{
+  public:
+    NruState(std::uint64_t sets, unsigned ways);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set, WayMask allowed,
+                    std::uint32_t valid) override;
+    void invalidate(std::uint64_t set, unsigned way) override;
+
+  private:
+    unsigned ways_;
+    std::vector<std::uint32_t> ref_;
+};
+
+/** Uniform-random victim among allowed ways. */
+class RandomState : public ReplacementState
+{
+  public:
+    RandomState(unsigned ways, std::uint64_t seed);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set, WayMask allowed,
+                    std::uint32_t valid) override;
+    void invalidate(std::uint64_t set, unsigned way) override;
+
+  private:
+    Rng rng_;
+};
+
+} // namespace capart
+
+#endif // CAPART_MEM_REPLACEMENT_HH

@@ -1,0 +1,231 @@
+#include "mem/set_assoc_cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace capart
+{
+
+namespace
+{
+
+/** splitmix64 finalizer; decorrelates set selection from line alignment. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(const CacheConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      sets_(cfg.sets()),
+      ways_(cfg.ways),
+      tags_(sets_ * ways_, 0),
+      valid_(sets_, 0),
+      dirty_(sets_, 0),
+      repl_(ReplacementState::create(cfg, seed))
+{
+    if (sets_ == 0 || !std::has_single_bit(sets_)) {
+        capart_fatal("cache '" << cfg.name << "': size "
+                     << cfg.sizeBytes << " B / " << cfg.ways
+                     << " ways / " << kLineBytes
+                     << " B lines yields " << sets_
+                     << " sets; the set count must be a power of two");
+    }
+    capart_assert(ways_ >= 1 && ways_ <= 32);
+    const unsigned slots = cfg.partitionSlots ? cfg.partitionSlots : 1;
+    masks_.assign(slots, WayMask::all(ways_));
+    stats_.assign(slots, PartitionStats{});
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr line) const
+{
+    if (cfg_.index == IndexFn::Hashed)
+        return mix64(line) & (sets_ - 1);
+    return line & (sets_ - 1);
+}
+
+int
+SetAssocCache::findWay(std::uint64_t set, Addr line) const
+{
+    const std::uint64_t tag = line + 1;
+    const std::uint64_t base = set * ways_;
+    std::uint32_t v = valid_[set];
+    while (v) {
+        const unsigned w = static_cast<unsigned>(std::countr_zero(v));
+        if (tags_[base + w] == tag)
+            return static_cast<int>(w);
+        v &= v - 1;
+    }
+    return -1;
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr line, bool write, unsigned slot)
+{
+    capart_assert(slot < stats_.size());
+    ++stats_[slot].accesses;
+
+    const std::uint64_t set = setIndex(line);
+    const int way = findWay(set, line);
+    if (way >= 0) {
+        ++stats_[slot].hits;
+        repl_->touch(set, static_cast<unsigned>(way));
+        if (write)
+            dirty_[set] |= (1u << way);
+        return CacheAccessResult{.hit = true};
+    }
+    return insert(set, line, write, slot);
+}
+
+CacheAccessResult
+SetAssocCache::fill(Addr line, bool dirty, unsigned slot)
+{
+    capart_assert(slot < masks_.size());
+    const std::uint64_t set = setIndex(line);
+    const int way = findWay(set, line);
+    if (way >= 0) {
+        repl_->touch(set, static_cast<unsigned>(way));
+        if (dirty)
+            dirty_[set] |= (1u << way);
+        return CacheAccessResult{.hit = true};
+    }
+    return insert(set, line, dirty, slot);
+}
+
+CacheAccessResult
+SetAssocCache::insert(std::uint64_t set, Addr line, bool dirty,
+                      unsigned slot)
+{
+    CacheAccessResult res;
+    const WayMask mask = masks_[slot];
+    capart_assert(!mask.empty());
+    const unsigned victim = repl_->victim(set, mask, valid_[set]);
+    capart_assert(victim < ways_);
+    capart_assert(mask.contains(victim));
+
+    const std::uint64_t idx = set * ways_ + victim;
+    const std::uint32_t bit = 1u << victim;
+    if (valid_[set] & bit) {
+        res.evicted = true;
+        res.victimLine = tags_[idx] - 1;
+        res.victimDirty = (dirty_[set] & bit) != 0;
+    }
+
+    tags_[idx] = line + 1;
+    valid_[set] |= bit;
+    if (dirty)
+        dirty_[set] |= bit;
+    else
+        dirty_[set] &= ~bit;
+    repl_->touch(set, victim);
+    return res;
+}
+
+bool
+SetAssocCache::probe(Addr line) const
+{
+    return findWay(setIndex(line), line) >= 0;
+}
+
+bool
+SetAssocCache::markDirty(Addr line)
+{
+    const std::uint64_t set = setIndex(line);
+    const int way = findWay(set, line);
+    if (way < 0)
+        return false;
+    dirty_[set] |= (1u << way);
+    repl_->touch(set, static_cast<unsigned>(way));
+    return true;
+}
+
+bool
+SetAssocCache::touchLine(Addr line)
+{
+    const std::uint64_t set = setIndex(line);
+    const int way = findWay(set, line);
+    if (way < 0)
+        return false;
+    repl_->touch(set, static_cast<unsigned>(way));
+    return true;
+}
+
+InvalidateResult
+SetAssocCache::invalidate(Addr line)
+{
+    const std::uint64_t set = setIndex(line);
+    const int way = findWay(set, line);
+    if (way < 0)
+        return InvalidateResult{};
+    const std::uint32_t bit = 1u << static_cast<unsigned>(way);
+    InvalidateResult res;
+    res.wasPresent = true;
+    res.wasDirty = (dirty_[set] & bit) != 0;
+    valid_[set] &= ~bit;
+    dirty_[set] &= ~bit;
+    tags_[set * ways_ + static_cast<unsigned>(way)] = 0;
+    repl_->invalidate(set, static_cast<unsigned>(way));
+    return res;
+}
+
+void
+SetAssocCache::setPartitionMask(unsigned slot, WayMask mask)
+{
+    capart_assert(slot < masks_.size());
+    capart_assert(!mask.empty());
+    capart_assert((mask & WayMask::all(ways_)) == mask);
+    masks_[slot] = mask;
+}
+
+WayMask
+SetAssocCache::partitionMask(unsigned slot) const
+{
+    capart_assert(slot < masks_.size());
+    return masks_[slot];
+}
+
+const PartitionStats &
+SetAssocCache::slotStats(unsigned slot) const
+{
+    capart_assert(slot < stats_.size());
+    return stats_[slot];
+}
+
+PartitionStats
+SetAssocCache::totalStats() const
+{
+    PartitionStats total;
+    for (const auto &s : stats_) {
+        total.accesses += s.accesses;
+        total.hits += s.hits;
+    }
+    return total;
+}
+
+void
+SetAssocCache::resetStats()
+{
+    for (auto &s : stats_)
+        s = PartitionStats{};
+}
+
+std::uint64_t
+SetAssocCache::residentLines() const
+{
+    std::uint64_t n = 0;
+    for (std::uint32_t v : valid_)
+        n += std::popcount(v);
+    return n;
+}
+
+} // namespace capart

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * A way-partitionable set-associative cache model.
+ *
+ * Partitioning follows the paper's mechanism exactly (§2.1): each
+ * partition slot owns a @ref WayMask; lookups hit on data in any way;
+ * only victim selection is restricted to the accessor's mask; and
+ * changing a mask never flushes resident data.
+ */
+
+#ifndef CAPART_MEM_SET_ASSOC_CACHE_HH
+#define CAPART_MEM_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/cache_config.hh"
+#include "mem/replacement.hh"
+#include "mem/way_mask.hh"
+
+namespace capart
+{
+
+/** What a cache access did. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** A valid line was evicted to make room. */
+    bool evicted = false;
+    /** Line address of the evicted victim (valid iff evicted). */
+    Addr victimLine = 0;
+    /** The victim was dirty and must be written back outward. */
+    bool victimDirty = false;
+};
+
+/** Result of a probe-invalidate (inclusive back-invalidation). */
+struct InvalidateResult
+{
+    bool wasPresent = false;
+    bool wasDirty = false;
+};
+
+/** Per-partition-slot hit/miss accounting. */
+struct PartitionStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+
+    std::uint64_t misses() const { return accesses - hits; }
+};
+
+/**
+ * A single cache level: tag array, per-set replacement state, and
+ * optional partition way masks.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param cfg   geometry/policy; sets() must be a power of two.
+     * @param seed  RNG seed (only the Random policy consumes it).
+     */
+    explicit SetAssocCache(const CacheConfig &cfg, std::uint64_t seed = 1);
+
+    /**
+     * Demand access (read or write) by partition @p slot.
+     * Misses allocate; the victim, if any, is reported for inclusive
+     * back-invalidation and dirty writeback by the caller.
+     */
+    CacheAccessResult access(Addr line, bool write, unsigned slot = 0);
+
+    /**
+     * Install @p line without demand-counting it (prefetch fill or
+     * writeback allocation). Replacement is still mask-restricted.
+     */
+    CacheAccessResult fill(Addr line, bool dirty, unsigned slot = 0);
+
+    /** True if @p line is resident (no state update). */
+    bool probe(Addr line) const;
+
+    /** Mark a resident line dirty (inner writeback hit); no-op if absent. */
+    bool markDirty(Addr line);
+
+    /** Refresh replacement recency of a resident line; no-op if absent. */
+    bool touchLine(Addr line);
+
+    /** Remove @p line if present (back-invalidation). */
+    InvalidateResult invalidate(Addr line);
+
+    /** Install a partition mask; data is deliberately not flushed. */
+    void setPartitionMask(unsigned slot, WayMask mask);
+
+    WayMask partitionMask(unsigned slot) const;
+
+    const CacheConfig &config() const { return cfg_; }
+    std::uint64_t sets() const { return sets_; }
+
+    const PartitionStats &slotStats(unsigned slot) const;
+    /** Aggregate over all slots. */
+    PartitionStats totalStats() const;
+    void resetStats();
+
+    /** Number of resident lines whose set index falls in this cache. */
+    std::uint64_t residentLines() const;
+
+    /** Set index for @p line under this cache's indexing function. */
+    std::uint64_t setIndex(Addr line) const;
+
+  private:
+    /** Way of @p line within @p set, or -1. */
+    int findWay(std::uint64_t set, Addr line) const;
+
+    CacheAccessResult insert(std::uint64_t set, Addr line, bool dirty,
+                             unsigned slot);
+
+    CacheConfig cfg_;
+    std::uint64_t sets_;
+    unsigned ways_;
+
+    /** tag[set*ways+way] = lineAddr+1; 0 means invalid. */
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint32_t> valid_; //!< per-set valid bitmask
+    std::vector<std::uint32_t> dirty_; //!< per-set dirty bitmask
+
+    std::unique_ptr<ReplacementState> repl_;
+    std::vector<WayMask> masks_;
+    std::vector<PartitionStats> stats_;
+};
+
+} // namespace capart
+
+#endif // CAPART_MEM_SET_ASSOC_CACHE_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Way-allocation masks — the paper's partitioning mechanism (§2.1).
+ *
+ * Each core (here: each partition slot) is assigned a subset of the LLC's
+ * ways. Allocations may be private, fully shared, or overlapping. A core
+ * hits on data in *any* way but may only choose replacement victims within
+ * its own ways, and remasking never flushes data.
+ */
+
+#ifndef CAPART_MEM_WAY_MASK_HH
+#define CAPART_MEM_WAY_MASK_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace capart
+{
+
+/** A bitmask over cache ways (bit i set == way i replaceable). */
+class WayMask
+{
+  public:
+    /** Empty mask (no ways); invalid to install, useful as a builder. */
+    constexpr WayMask() = default;
+
+    /** Mask from raw bits. */
+    constexpr explicit WayMask(std::uint32_t bits) : bits_(bits) {}
+
+    /** Mask covering all @p ways ways. */
+    static constexpr WayMask
+    all(unsigned ways)
+    {
+        return WayMask((ways >= 32) ? 0xffffffffu : ((1u << ways) - 1u));
+    }
+
+    /**
+     * Contiguous range of @p count ways starting at @p first — the shape
+     * static fair/biased policies install.
+     */
+    static WayMask
+    range(unsigned first, unsigned count)
+    {
+        capart_assert(count > 0 && first + count <= 32);
+        const std::uint32_t base = (count >= 32)
+            ? 0xffffffffu
+            : ((1u << count) - 1u);
+        return WayMask(base << first);
+    }
+
+    constexpr std::uint32_t bits() const { return bits_; }
+    constexpr bool empty() const { return bits_ == 0; }
+    unsigned count() const { return std::popcount(bits_); }
+    constexpr bool contains(unsigned way) const
+    {
+        return (bits_ >> way) & 1u;
+    }
+
+    constexpr bool operator==(const WayMask &o) const = default;
+
+    constexpr WayMask
+    operator|(const WayMask &o) const
+    {
+        return WayMask(bits_ | o.bits_);
+    }
+
+    constexpr WayMask
+    operator&(const WayMask &o) const
+    {
+        return WayMask(bits_ & o.bits_);
+    }
+
+    /** e.g. "0b000000111111" for the low 6 of 12 ways. */
+    std::string
+    str(unsigned ways = 12) const
+    {
+        std::string s = "0b";
+        for (unsigned i = ways; i-- > 0;)
+            s += contains(i) ? '1' : '0';
+        return s;
+    }
+
+  private:
+    std::uint32_t bits_ = 0;
+};
+
+} // namespace capart
+
+#endif // CAPART_MEM_WAY_MASK_HH

@@ -1,0 +1,99 @@
+#include "perf/perf_counters.hh"
+
+#include "common/logging.hh"
+
+namespace capart
+{
+
+const char *
+perfEventName(PerfEvent ev)
+{
+    switch (ev) {
+      case PerfEvent::Instructions:
+        return "instructions";
+      case PerfEvent::Cycles:
+        return "cycles";
+      case PerfEvent::LlcReferences:
+        return "LLC-references";
+      case PerfEvent::LlcMisses:
+        return "LLC-misses";
+      case PerfEvent::DramReads:
+        return "dram-reads";
+      case PerfEvent::DramWrites:
+        return "dram-writes";
+      case PerfEvent::kCount:
+        break;
+    }
+    capart_panic("unknown perf event");
+}
+
+double
+PerfCounterSet::mpki() const
+{
+    const std::uint64_t insts = read(PerfEvent::Instructions);
+    if (insts == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(read(PerfEvent::LlcMisses)) /
+           static_cast<double>(insts);
+}
+
+double
+PerfCounterSet::apki() const
+{
+    const std::uint64_t insts = read(PerfEvent::Instructions);
+    if (insts == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(read(PerfEvent::LlcReferences)) /
+           static_cast<double>(insts);
+}
+
+double
+PerfCounterSet::ipc() const
+{
+    const std::uint64_t cycles = read(PerfEvent::Cycles);
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(read(PerfEvent::Instructions)) /
+           static_cast<double>(cycles);
+}
+
+PerfMonitor::PerfMonitor(Seconds window_length)
+    : windowLength_(window_length)
+{
+    capart_assert(window_length > 0.0);
+}
+
+void
+PerfMonitor::record(Seconds now, Insts insts, std::uint64_t llc_accesses,
+                    std::uint64_t llc_misses)
+{
+    while (now >= windowStart_ + windowLength_)
+        closeWindow(windowStart_ + windowLength_);
+    insts_ += insts;
+    acc_ += llc_accesses;
+    miss_ += llc_misses;
+}
+
+void
+PerfMonitor::closeWindow(Seconds boundary)
+{
+    PerfWindow w;
+    w.start = windowStart_;
+    w.end = boundary;
+    w.insts = insts_;
+    w.llcAccesses = acc_;
+    w.llcMisses = miss_;
+    if (insts_ > 0) {
+        w.mpki = 1000.0 * static_cast<double>(miss_) /
+                 static_cast<double>(insts_);
+        w.apki = 1000.0 * static_cast<double>(acc_) /
+                 static_cast<double>(insts_);
+    }
+    windows_.push_back(w);
+    windowStart_ = boundary;
+    insts_ = 0;
+    acc_ = 0;
+    miss_ = 0;
+}
+
+} // namespace capart

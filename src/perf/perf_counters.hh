@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Performance-monitoring framework modeled on libpfm/perf_events (§2.2).
+ *
+ * The simulator feeds raw event deltas; software (the dynamic
+ * partitioning framework, the benches) reads counters and windowed
+ * derived metrics such as MPKI over 100 ms intervals (§6.2).
+ */
+
+#ifndef CAPART_PERF_PERF_COUNTERS_HH
+#define CAPART_PERF_PERF_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace capart
+{
+
+/** Hardware events the framework exposes. */
+enum class PerfEvent : unsigned
+{
+    Instructions = 0,
+    Cycles,
+    LlcReferences,
+    LlcMisses,
+    DramReads,
+    DramWrites,
+    kCount
+};
+
+/** Human-readable event name (perf-style). */
+const char *perfEventName(PerfEvent ev);
+
+/** One application's (or thread-group's) free-running counters. */
+class PerfCounterSet
+{
+  public:
+    void
+    add(PerfEvent ev, std::uint64_t delta)
+    {
+        counts_[static_cast<unsigned>(ev)] += delta;
+    }
+
+    std::uint64_t
+    read(PerfEvent ev) const
+    {
+        return counts_[static_cast<unsigned>(ev)];
+    }
+
+    void reset() { counts_.fill(0); }
+
+    /** Misses per kilo-instruction since counter reset. */
+    double mpki() const;
+
+    /** LLC accesses per kilo-instruction since counter reset. */
+    double apki() const;
+
+    /** Instructions per cycle since counter reset. */
+    double ipc() const;
+
+  private:
+    std::array<std::uint64_t, static_cast<unsigned>(PerfEvent::kCount)>
+        counts_{};
+};
+
+/** Derived metrics for one completed sampling window. */
+struct PerfWindow
+{
+    Seconds start = 0.0;
+    Seconds end = 0.0;
+    Insts insts = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcMisses = 0;
+    double mpki = 0.0;
+    double apki = 0.0;
+};
+
+/**
+ * Samples one application's counters at a fixed simulated-time period
+ * and produces completed @ref PerfWindow records, mirroring the 100 ms
+ * monitoring loop of the paper's software framework. The period is
+ * configurable because the simulator runs scaled-down applications.
+ */
+class PerfMonitor
+{
+  public:
+    explicit PerfMonitor(Seconds window_length);
+
+    /** Feed event deltas attributed to the monitored app at @p now. */
+    void record(Seconds now, Insts insts, std::uint64_t llc_accesses,
+                std::uint64_t llc_misses);
+
+    /** Windows completed so far (close on the fly as time advances). */
+    const std::vector<PerfWindow> &windows() const { return windows_; }
+
+    /** Number of windows completed so far. */
+    std::size_t windowCount() const { return windows_.size(); }
+
+    Seconds windowLength() const { return windowLength_; }
+
+  private:
+    void closeWindow(Seconds boundary);
+
+    Seconds windowLength_;
+    Seconds windowStart_ = 0.0;
+    Insts insts_ = 0;
+    std::uint64_t acc_ = 0;
+    std::uint64_t miss_ = 0;
+    std::vector<PerfWindow> windows_;
+};
+
+} // namespace capart
+
+#endif // CAPART_PERF_PERF_COUNTERS_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Canned experiment harnesses: solo characterization runs and
+ * foreground/background co-scheduling runs with the paper's pinning
+ * discipline (each app gets whole cores; both hyperthreads of a core
+ * are filled first; co-run apps use disjoint cores, §5).
+ */
+
+#ifndef CAPART_SIM_EXPERIMENT_HH
+#define CAPART_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+
+#include "mem/way_mask.hh"
+#include "sim/run_result.hh"
+#include "sim/system.hh"
+#include "sim/system_config.hh"
+#include "workload/app_params.hh"
+
+namespace capart
+{
+
+/** Options for a solo characterization run (§3). */
+struct SoloOptions
+{
+    /** Hyperthreads given to the app (both HTs of a core first). */
+    unsigned threads = 4;
+    /** LLC ways the app may replace into (12 = whole cache). */
+    unsigned ways = 12;
+    /** Instruction-count scale factor for faster sweeps. */
+    double scale = 1.0;
+    SystemConfig system{};
+};
+
+/** Outcome of a solo run. */
+struct SoloResult
+{
+    AppRunStats app;
+    Seconds time = 0.0;
+    Joules socketEnergy = 0.0;
+    Joules wallEnergy = 0.0;
+    bool timedOut = false;
+};
+
+/** Run one application alone on the machine. */
+SoloResult runSolo(const AppParams &params, const SoloOptions &opts);
+
+/** Options for a foreground+background co-run (§5). */
+struct PairOptions
+{
+    /** Hyperthreads for each app (4 = 2 cores x 2 HT, the paper's §5). */
+    unsigned fgThreads = 4;
+    unsigned bgThreads = 4;
+    /** Way masks; empty mask means "all ways" (shared). */
+    WayMask fgMask{};
+    WayMask bgMask{};
+    /** Background restarts continuously (paper's §5 setup). */
+    bool bgContinuous = true;
+    double scale = 1.0;
+    SystemConfig system{};
+    /** Optional controller driving dynamic repartitioning. */
+    PartitionController *controller = nullptr;
+};
+
+/** Outcome of a co-run. */
+struct PairResult
+{
+    AppRunStats fg;
+    AppRunStats bg;
+    Seconds fgTime = 0.0;
+    /** Background instructions retired per second of foreground run. */
+    double bgThroughput = 0.0;
+    Joules socketEnergy = 0.0;
+    Joules wallEnergy = 0.0;
+    bool timedOut = false;
+};
+
+/**
+ * Run @p fg on the first half of the cores and @p bg on the second half
+ * simultaneously; the run ends when the foreground completes.
+ */
+PairResult runPair(const AppParams &fg, const AppParams &bg,
+                   const PairOptions &opts);
+
+/** Contiguous low-ways mask for the foreground, rest for background. */
+struct SplitMasks
+{
+    WayMask fg;
+    WayMask bg;
+};
+
+/** Split @p total_ways giving the low @p fg_ways to the foreground. */
+SplitMasks splitWays(unsigned fg_ways, unsigned total_ways);
+
+} // namespace capart
+
+#endif // CAPART_SIM_EXPERIMENT_HH

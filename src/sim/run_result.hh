@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Results of one simulated run: per-application performance counters
+ * and whole-system energy, as the paper's measurement stack reports.
+ */
+
+#ifndef CAPART_SIM_RUN_RESULT_HH
+#define CAPART_SIM_RUN_RESULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace capart
+{
+
+/** Counters for one application over a run. */
+struct AppRunStats
+{
+    std::string name;
+    /** The app ran to completion at least once. */
+    bool completed = false;
+    /** Simulated time of the first full completion. */
+    Seconds completionTime = 0.0;
+    /** Full iterations finished (continuous background apps loop). */
+    unsigned iterations = 0;
+
+    Insts retired = 0;
+    Cycles cycles = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t uncachedBytes = 0;
+
+    /** Instructions per second over the measured interval. */
+    double throughputIps = 0.0;
+
+    double
+    mpki() const
+    {
+        return retired ? 1000.0 * static_cast<double>(llcMisses) /
+                             static_cast<double>(retired)
+                       : 0.0;
+    }
+
+    double
+    apki() const
+    {
+        return retired ? 1000.0 * static_cast<double>(llcAccesses) /
+                             static_cast<double>(retired)
+                       : 0.0;
+    }
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(retired) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** Whole-run outcome. */
+struct RunResult
+{
+    std::vector<AppRunStats> apps;
+    /** Time at which the last non-continuous app completed. */
+    Seconds makespan = 0.0;
+    Joules socketEnergy = 0.0;
+    Joules wallEnergy = 0.0;
+    std::uint64_t dramTotalBytes = 0;
+    /** The run hit the maxSimTime safety stop before completing. */
+    bool timedOut = false;
+
+    /** Stats of app @p id (index order of addApp calls). */
+    const AppRunStats &
+    app(AppId id) const
+    {
+        return apps.at(id);
+    }
+};
+
+} // namespace capart
+
+#endif // CAPART_SIM_RUN_RESULT_HH

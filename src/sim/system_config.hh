@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Whole-system configuration: the paper's platform is 4 cores x 2
+ * hyperthreads, the Sandy Bridge cache hierarchy, shared ring and DRAM
+ * bandwidth domains, and the RAPL/wall energy model.
+ */
+
+#ifndef CAPART_SIM_SYSTEM_CONFIG_HH
+#define CAPART_SIM_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+
+#include "cpu/core_model.hh"
+#include "dram/dram_model.hh"
+#include "energy/energy_model.hh"
+#include "interconnect/ring.hh"
+#include "mem/cache_config.hh"
+#include "prefetch/prefetchers.hh"
+
+namespace capart
+{
+
+/** Everything needed to instantiate a @ref System. */
+struct SystemConfig
+{
+    unsigned numCores = 4;
+    unsigned htsPerCore = 2;
+
+    HierarchyConfig hierarchy = HierarchyConfig::sandyBridge();
+    CpuConfig cpu{};
+    DramConfig dram{};
+    BandwidthDomainConfig ring = RingInterconnect::defaultConfig();
+    EnergyConfig energy{};
+    PrefetchConfig prefetch{};
+
+    /** Instructions per scheduling quantum of one hardware thread. */
+    Insts quantumInsts = 4000;
+
+    /**
+     * Perf-monitor sampling window in simulated seconds. The paper's
+     * framework samples every 100 ms of a ~100 s application; our apps
+     * are scaled ~10^4x shorter, so the window scales accordingly.
+     */
+    Seconds perfWindow = 25e-6;
+
+    /** Safety stop for runaway simulations. */
+    Seconds maxSimTime = 30.0;
+
+    std::uint64_t seed = 12345;
+
+    unsigned
+    numHts() const
+    {
+        return numCores * htsPerCore;
+    }
+};
+
+} // namespace capart
+
+#endif // CAPART_SIM_SYSTEM_CONFIG_HH

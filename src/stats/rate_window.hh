@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Bucketed sliding-window rate tracker.
+ *
+ * Bandwidth contention in the quantum-interleaved simulator is computed
+ * from the traffic all hardware threads generated over the recent past;
+ * this class provides that "recent bytes per second" estimate cheaply.
+ */
+
+#ifndef CAPART_STATS_RATE_WINDOW_HH
+#define CAPART_STATS_RATE_WINDOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace capart
+{
+
+/**
+ * Accumulates (time, amount) samples into fixed-width buckets and reports
+ * the average rate over the last `buckets × bucketWidth` seconds.
+ */
+class RateWindow
+{
+  public:
+    /**
+     * @param bucket_width  seconds covered by one bucket.
+     * @param buckets       number of buckets in the window.
+     */
+    RateWindow(Seconds bucket_width, unsigned buckets)
+        : width_(bucket_width), counts_(buckets, 0), epochs_(buckets, ~0ULL)
+    {
+        capart_assert(bucket_width > 0.0);
+        capart_assert(buckets >= 2);
+    }
+
+    /** Add @p amount units at time @p now (now must not go backwards). */
+    void
+    record(Seconds now, std::uint64_t amount)
+    {
+        const std::uint64_t epoch = bucketEpoch(now);
+        const std::size_t slot = epoch % counts_.size();
+        if (epochs_[slot] != epoch) {
+            epochs_[slot] = epoch;
+            counts_[slot] = 0;
+        }
+        counts_[slot] += amount;
+        total_ += amount;
+    }
+
+    /** Average units/second over the live window ending at @p now. */
+    double
+    rate(Seconds now) const
+    {
+        const std::uint64_t epoch = bucketEpoch(now);
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            // A slot is live if its epoch lies within the window.
+            if (epochs_[i] != ~0ULL && epochs_[i] + counts_.size() > epoch &&
+                epochs_[i] <= epoch) {
+                sum += counts_[i];
+            }
+        }
+        return static_cast<double>(sum) /
+               (width_ * static_cast<double>(counts_.size()));
+    }
+
+    /** All units ever recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Window span in seconds. */
+    Seconds
+    span() const
+    {
+        return width_ * static_cast<double>(counts_.size());
+    }
+
+  private:
+    std::uint64_t
+    bucketEpoch(Seconds now) const
+    {
+        return static_cast<std::uint64_t>(now / width_);
+    }
+
+    Seconds width_;
+    std::vector<std::uint64_t> counts_;
+    std::vector<std::uint64_t> epochs_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace capart
+
+#endif // CAPART_STATS_RATE_WINDOW_HH

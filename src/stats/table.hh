@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text and CSV table emitters used by the bench binaries to print
+ * the rows/series the paper's tables and figures report.
+ */
+
+#ifndef CAPART_STATS_TABLE_HH
+#define CAPART_STATS_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capart
+{
+
+/**
+ * A simple column-aligned table. Collect rows of strings, then render
+ * either aligned for the terminal or as CSV for plotting scripts.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows (excluding the header). */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render column-aligned text with a header separator. */
+    void print(std::ostream &os) const;
+
+    /** Render RFC-4180-ish CSV (quotes cells containing commas). */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace capart
+
+#endif // CAPART_STATS_TABLE_HH

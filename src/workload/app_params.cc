@@ -1,0 +1,95 @@
+#include "workload/app_params.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace capart
+{
+
+const char *
+suiteName(Suite s)
+{
+    switch (s) {
+      case Suite::Parsec:
+        return "PARSEC";
+      case Suite::DaCapo:
+        return "DaCapo";
+      case Suite::SpecCpu:
+        return "SPEC";
+      case Suite::ParallelApps:
+        return "Parallel";
+      case Suite::Microbench:
+        return "ubench";
+    }
+    capart_panic("unknown suite");
+}
+
+const char *
+scalClassName(ScalClass c)
+{
+    switch (c) {
+      case ScalClass::Low:
+        return "low";
+      case ScalClass::Saturated:
+        return "saturated";
+      case ScalClass::High:
+        return "high";
+    }
+    capart_panic("unknown scalability class");
+}
+
+const char *
+utilClassName(UtilClass c)
+{
+    switch (c) {
+      case UtilClass::Low:
+        return "low";
+      case UtilClass::Saturated:
+        return "saturated";
+      case UtilClass::High:
+        return "high";
+    }
+    capart_panic("unknown utility class");
+}
+
+AppParams
+AppParams::scaled(double factor) const
+{
+    capart_assert(factor > 0.0);
+    AppParams copy = *this;
+    copy.lengthInsts = static_cast<Insts>(
+        std::llround(static_cast<double>(lengthInsts) * factor));
+    if (copy.lengthInsts < 1)
+        copy.lengthInsts = 1;
+    return copy;
+}
+
+void
+AppParams::validate() const
+{
+    capart_assert(!phases.empty());
+    capart_assert(lengthInsts > 0);
+    capart_assert(baseIpc > 0.0);
+    capart_assert(mlp >= 1.0);
+    capart_assert(serialFraction >= 0.0 && serialFraction <= 1.0);
+    capart_assert(maxThreads >= 1);
+
+    double frac = 0.0;
+    for (const auto &ph : phases) {
+        capart_assert(ph.instFraction > 0.0);
+        capart_assert(ph.memRatio >= 0.0 && ph.memRatio <= 1.0);
+        capart_assert(!ph.patterns.empty());
+        double w = 0.0;
+        for (const auto &p : ph.patterns) {
+            capart_assert(p.weight > 0.0);
+            capart_assert(p.regionBytes >= kLineBytes);
+            w += p.weight;
+        }
+        capart_assert(std::abs(w - 1.0) < 1e-6);
+        frac += ph.instFraction;
+    }
+    capart_assert(std::abs(frac - 1.0) < 1e-6);
+}
+
+} // namespace capart

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Parameterized synthetic application models.
+ *
+ * The paper runs 45 real benchmarks; we cannot (no SPEC/DaCapo/PARSEC
+ * licenses or inputs here, and no JVM), so each application is modeled
+ * as a phased memory-access generator whose parameters are fitted to the
+ * published characterization: thread scalability (Table 1), LLC utility
+ * (Table 2), prefetcher sensitivity (Fig. 3), and bandwidth sensitivity
+ * (Fig. 4). The evaluation only consumes these resource behaviours, so
+ * the substitution preserves what the experiments measure (DESIGN.md §2).
+ */
+
+#ifndef CAPART_WORKLOAD_APP_PARAMS_HH
+#define CAPART_WORKLOAD_APP_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace capart
+{
+
+/** Benchmark suite of origin (§2.3). */
+enum class Suite
+{
+    Parsec,
+    DaCapo,
+    SpecCpu,
+    ParallelApps,
+    Microbench
+};
+
+const char *suiteName(Suite s);
+
+/** Thread-scalability class (Table 1). */
+enum class ScalClass
+{
+    Low,
+    Saturated,
+    High
+};
+
+/** LLC-allocation-sensitivity class (Table 2). */
+enum class UtilClass
+{
+    Low,
+    Saturated,
+    High
+};
+
+const char *scalClassName(ScalClass c);
+const char *utilClassName(UtilClass c);
+
+/** Synthetic memory reference pattern kinds. */
+enum class PatternKind
+{
+    /** Dense forward walk through a region (unit/small stride). */
+    Sequential,
+    /** Forward walk with a multi-line stride. */
+    Strided,
+    /** Uniform random lines within a region. */
+    RandomInRegion,
+    /** Random dependent loads (serialized misses; MLP of 1). */
+    PointerChase,
+    /** Non-temporal streaming that bypasses all caches. */
+    StreamUncached
+};
+
+/** One reference pattern within a phase. */
+struct PatternSpec
+{
+    PatternKind kind = PatternKind::RandomInRegion;
+    /** Bytes of address space this pattern touches. */
+    std::uint64_t regionBytes = 1 << 20;
+    /** Byte stride for Sequential/Strided walks. */
+    std::uint64_t strideBytes = 8;
+    /** Fraction of the phase's accesses drawn from this pattern. */
+    double weight = 1.0;
+    /** Fraction of this pattern's accesses that are stores. */
+    double writeFraction = 0.3;
+    /**
+     * For Strided walks: probability per access of jumping to a random
+     * position in the region. Irregular strides defeat the IP
+     * prefetcher while still triggering (useless) spatial/streamer
+     * prefetches — the lusearch behaviour of Fig. 3.
+     */
+    double jumpProbability = 0.0;
+};
+
+/** One execution phase (§6.1: applications have phases). */
+struct PhaseSpec
+{
+    /** Fraction of the app's total instructions spent in this phase. */
+    double instFraction = 1.0;
+    /** Memory accesses per instruction during the phase. */
+    double memRatio = 0.15;
+    std::vector<PatternSpec> patterns;
+};
+
+/** Full description of one modeled application. */
+struct AppParams
+{
+    std::string name;
+    Suite suite = Suite::SpecCpu;
+
+    /** Total work in instructions (scaled; see EXPERIMENTS.md). */
+    Insts lengthInsts = 20'000'000;
+    /** Compute IPC with all loads hitting the L1. */
+    double baseIpc = 1.6;
+    /** Achievable memory-level parallelism of independent misses. */
+    double mlp = 4.0;
+    /** Amdahl serial fraction (executed by thread 0 only). */
+    double serialFraction = 0.05;
+    /** Per-extra-thread work inflation (synchronization cost). */
+    double syncCost = 0.005;
+    /** Hard cap on useful threads (1 for the single-threaded codes). */
+    unsigned maxThreads = 8;
+
+    std::vector<PhaseSpec> phases;
+
+    /** Paper-reported classifications (ground truth for tests/benches). */
+    ScalClass expectedScal = ScalClass::High;
+    UtilClass expectedUtil = UtilClass::Low;
+    /** Paper reports >10 LLC accesses per kilo-instruction (Table 2 bold). */
+    bool expectedHighApki = false;
+    /** Fig. 3: benefits (or suffers) noticeably from prefetchers. */
+    bool expectedPrefetchSensitive = false;
+    /** Fig. 4: slows >10 % next to the bandwidth hog. */
+    bool expectedBandwidthSensitive = false;
+
+    /** Return a copy with the instruction count scaled by @p factor. */
+    AppParams scaled(double factor) const;
+
+    /** Sum of phase instFractions must be ~1; panics otherwise. */
+    void validate() const;
+};
+
+} // namespace capart
+
+#endif // CAPART_WORKLOAD_APP_PARAMS_HH

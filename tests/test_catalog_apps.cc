@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Parameterized per-application property tests: every one of the 45
+ * catalog entries must satisfy the generator invariants — deterministic
+ * replay, address-layout containment, access-rate consistency with its
+ * memRatio, and a finishable single run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "workload/catalog.hh"
+#include "workload/generator.hh"
+
+namespace capart
+{
+namespace
+{
+
+class CatalogAppTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const AppParams &app() const { return Catalog::byName(GetParam()); }
+};
+
+TEST_P(CatalogAppTest, GeneratorIsDeterministic)
+{
+    ThreadWorkload w1(app(), 0, 4, 1ull << 40, 77);
+    ThreadWorkload w2(app(), 0, 4, 1ull << 40, 77);
+    std::vector<MemAccess> a1, a2;
+    for (int q = 0; q < 5; ++q) {
+        const double progress = q * 0.2;
+        w1.runQuantum(4000, progress, a1);
+        w2.runQuantum(4000, progress, a2);
+    }
+    ASSERT_EQ(a1.size(), a2.size());
+    for (std::size_t i = 0; i < a1.size(); ++i)
+        ASSERT_EQ(a1[i].addr, a2[i].addr) << "i=" << i;
+}
+
+TEST_P(CatalogAppTest, AddressesWithinDeclaredFootprint)
+{
+    const Addr base = 1ull << 41;
+    ThreadWorkload w(app(), 1, 4, base, 5);
+    std::uint64_t footprint = 0;
+    for (const auto &ph : app().phases)
+        for (const auto &p : ph.patterns)
+            footprint += p.regionBytes + kLineBytes;
+
+    std::vector<MemAccess> acc;
+    for (int q = 0; q < 20 && !w.done(); ++q)
+        w.runQuantum(4000, q * 0.05, acc);
+    for (const auto &m : acc) {
+        ASSERT_GE(m.addr, base);
+        ASSERT_LT(m.addr, base + footprint);
+    }
+}
+
+TEST_P(CatalogAppTest, AccessRateMatchesMemRatioPerPhase)
+{
+    ThreadWorkload w(app(), 0, 1, 1ull << 40, 9);
+    for (std::size_t ph = 0; ph < app().phases.size(); ++ph) {
+        // Probe mid-phase to avoid boundary rounding.
+        double progress = 0.0;
+        for (std::size_t k = 0; k < ph; ++k)
+            progress += app().phases[k].instFraction;
+        progress += app().phases[ph].instFraction * 0.5;
+        if (w.done())
+            break;
+        std::vector<MemAccess> acc;
+        const Insts ran = w.runQuantum(20000, progress, acc);
+        if (ran < 20000)
+            break; // end of this thread's share
+        const double ratio = static_cast<double>(acc.size()) / 20000.0;
+        EXPECT_NEAR(ratio, app().phases[ph].memRatio, 0.02)
+            << "phase " << ph;
+    }
+}
+
+TEST_P(CatalogAppTest, WorkSharesSumToAtLeastTotal)
+{
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        Insts sum = 0;
+        for (unsigned t = 0; t < threads; ++t)
+            sum += threadWorkShare(app(), t, threads);
+        // Sync overhead only ever adds work; nothing may be lost.
+        EXPECT_GE(sum + 2, app().lengthInsts)
+            << "threads=" << threads;
+    }
+}
+
+TEST_P(CatalogAppTest, ShortSoloRunCompletes)
+{
+    SoloOptions o;
+    o.threads = 4;
+    o.scale = 0.01;
+    const SoloResult r = runSolo(app(), o);
+    EXPECT_TRUE(r.app.completed);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_GT(r.app.retired, 0u);
+    EXPECT_GT(r.time, 0.0);
+}
+
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    for (const char c : name)
+        out += (std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All45, CatalogAppTest,
+    ::testing::ValuesIn([] {
+        std::vector<std::string> names;
+        for (const auto &a : Catalog::all())
+            names.push_back(a.name);
+        return names;
+    }()),
+    [](const auto &info) { return sanitize(info.param); });
+
+} // namespace
+} // namespace capart

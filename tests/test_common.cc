@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the common module: types, RNG, units.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace capart
+{
+namespace
+{
+
+TEST(Types, LineAddrStripsOffset)
+{
+    EXPECT_EQ(lineAddr(0), 0u);
+    EXPECT_EQ(lineAddr(63), 0u);
+    EXPECT_EQ(lineAddr(64), 1u);
+    EXPECT_EQ(lineAddr(128 + 17), 2u);
+}
+
+TEST(Units, BinarySizes)
+{
+    EXPECT_EQ(kib(1), 1024u);
+    EXPECT_EQ(mib(1), 1024u * 1024u);
+    EXPECT_EQ(gib(2), 2ull * 1024 * 1024 * 1024);
+    EXPECT_EQ(mib(6) / (12 * kLineBytes), 8192u); // the paper's LLC sets
+}
+
+TEST(Units, TimeAndRate)
+{
+    EXPECT_DOUBLE_EQ(msec(100), 0.1);
+    EXPECT_DOUBLE_EQ(usec(25), 25e-6);
+    EXPECT_DOUBLE_EQ(ghz(3.4), 3.4e9);
+    EXPECT_DOUBLE_EQ(gbps(21), 21e9);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+} // namespace
+} // namespace capart

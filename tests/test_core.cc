@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the paper's contribution: phase detection (Algorithm 6.1),
+ * the dynamic partitioner (Algorithm 6.2), static policies, and the
+ * co-scheduler facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/co_scheduler.hh"
+#include "core/dynamic_partitioner.hh"
+#include "core/phase_detector.hh"
+#include "core/static_policies.hh"
+#include "workload/catalog.hh"
+
+namespace capart
+{
+namespace
+{
+
+constexpr double kTestScale = 0.03;
+
+// ----------------------------------------------------- PhaseDetector --
+
+TEST(PhaseDetector, StableStreamNoEvents)
+{
+    PhaseDetector det;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(det.step(50.0), PhaseEvent::Stable);
+    EXPECT_EQ(det.phaseChanges(), 0u);
+    EXPECT_NEAR(det.avgMpki(), 50.0, 1e-9);
+}
+
+TEST(PhaseDetector, SmallJitterTolerated)
+{
+    PhaseDetector det;
+    // +-1% wobble around 100 stays under THR1 = 2%.
+    double mpki = 100.0;
+    for (int i = 0; i < 50; ++i) {
+        mpki = (i % 2) ? 100.5 : 99.5;
+        EXPECT_EQ(det.step(mpki), PhaseEvent::Stable) << "i=" << i;
+    }
+    EXPECT_EQ(det.phaseChanges(), 0u);
+}
+
+TEST(PhaseDetector, StepChangeDetected)
+{
+    PhaseDetector det;
+    for (int i = 0; i < 20; ++i)
+        det.step(40.0);
+    EXPECT_EQ(det.step(150.0), PhaseEvent::NewPhase);
+    EXPECT_TRUE(det.inTransition());
+    // Settles once samples stabilize near the new level.
+    EXPECT_EQ(det.step(150.0), PhaseEvent::Stable);
+    EXPECT_FALSE(det.inTransition());
+    EXPECT_EQ(det.phaseChanges(), 1u);
+}
+
+TEST(PhaseDetector, RampKeepsTransitionOpen)
+{
+    PhaseDetector det;
+    for (int i = 0; i < 10; ++i)
+        det.step(40.0);
+    EXPECT_EQ(det.step(60.0), PhaseEvent::NewPhase);
+    // Keep moving by >2% per window: still in transition.
+    EXPECT_EQ(det.step(90.0), PhaseEvent::InTransition);
+    EXPECT_EQ(det.step(130.0), PhaseEvent::InTransition);
+    EXPECT_EQ(det.step(131.0), PhaseEvent::Stable);
+    EXPECT_EQ(det.phaseChanges(), 1u);
+}
+
+TEST(PhaseDetector, CountsMultiplePhaseChanges)
+{
+    PhaseDetector det;
+    auto run_level = [&](double mpki) {
+        for (int i = 0; i < 10; ++i)
+            det.step(mpki);
+    };
+    run_level(40);
+    run_level(150);
+    run_level(40);
+    run_level(150);
+    EXPECT_EQ(det.phaseChanges(), 3u);
+}
+
+TEST(PhaseDetector, ResetClearsState)
+{
+    PhaseDetector det;
+    det.step(40.0);
+    det.step(150.0);
+    det.reset();
+    EXPECT_EQ(det.phaseChanges(), 0u);
+    EXPECT_EQ(det.step(70.0), PhaseEvent::Stable) << "fresh bootstrap";
+}
+
+TEST(PhaseDetector, NearZeroMpkiDoesNotOscillate)
+{
+    // Relative deltas on tiny MPKI would explode without the floor.
+    PhaseDetector det;
+    det.step(0.01);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(det.step((i % 2) ? 0.012 : 0.008), PhaseEvent::Stable);
+}
+
+// ----------------------------------------------- static policy masks --
+
+TEST(StaticPolicies, PolicyNames)
+{
+    EXPECT_STREQ(policyName(Policy::Shared), "shared");
+    EXPECT_STREQ(policyName(Policy::Fair), "fair");
+    EXPECT_STREQ(policyName(Policy::Biased), "biased");
+    EXPECT_STREQ(policyName(Policy::Dynamic), "dynamic");
+}
+
+TEST(StaticPolicies, MaskShapes)
+{
+    const SplitMasks shared = policyMasks(Policy::Shared, 12);
+    EXPECT_EQ(shared.fg, WayMask::all(12));
+    EXPECT_EQ(shared.bg, WayMask::all(12));
+
+    const SplitMasks fair = policyMasks(Policy::Fair, 12);
+    EXPECT_EQ(fair.fg.count(), 6u);
+    EXPECT_EQ(fair.bg.count(), 6u);
+
+    const SplitMasks biased = policyMasks(Policy::Biased, 12, 9);
+    EXPECT_EQ(biased.fg.count(), 9u);
+    EXPECT_EQ(biased.bg.count(), 3u);
+
+    const SplitMasks dyn = policyMasks(Policy::Dynamic, 12);
+    EXPECT_EQ(dyn.fg.count(), 11u);
+    EXPECT_EQ(dyn.bg.count(), 1u);
+}
+
+TEST(StaticPolicies, BiasedSearchImplementsThePaperCriterion)
+{
+    BiasedSearchOptions opts;
+    opts.pair.scale = kTestScale;
+    const BiasedSearchResult r = findBiasedPartition(
+        Catalog::byName("471.omnetpp"), Catalog::byName("streamcluster"),
+        opts);
+    ASSERT_EQ(r.sweep.size(), 11u);
+    EXPECT_EQ(r.masks.fg.count(), r.fgWays);
+    EXPECT_GT(r.bgThroughput, 0.0);
+
+    // §5.2: among allocations with minimum foreground degradation,
+    // the one that maximizes background performance.
+    double best_time = 1e30;
+    for (const auto &pt : r.sweep)
+        best_time = std::min(best_time, pt.fgTime);
+    EXPECT_LE(r.fgTime, best_time * (1.0 + opts.tolerance) + 1e-12);
+    for (const auto &pt : r.sweep) {
+        if (pt.fgTime <= best_time * (1.0 + opts.tolerance))
+            EXPECT_GE(r.bgThroughput, pt.bgThroughput);
+    }
+}
+
+TEST(StaticPolicies, BiasedSearchGivesCacheAwayWhenFgInsensitive)
+{
+    BiasedSearchOptions opts;
+    opts.pair.scale = kTestScale;
+    const BiasedSearchResult r =
+        findBiasedPartition(Catalog::byName("swaptions"),
+                            Catalog::byName("471.omnetpp"), opts);
+    // swaptions does not need LLC: the search should hand most ways to
+    // the cache-hungry background.
+    EXPECT_LE(r.fgWays, 4u);
+}
+
+// -------------------------------------------------- DynamicPartitioner --
+
+TEST(DynamicPartitioner, ShrinksWhenMpkiInsensitive)
+{
+    SystemConfig cfg;
+    cfg.perfWindow = 8e-6;
+    System sys(cfg);
+    const AppId fg = sys.addAppOnCores(
+        Catalog::byName("swaptions").scaled(0.3), 0, 2);
+    const AppId bg = sys.addAppOnCores(
+        Catalog::byName("471.omnetpp").scaled(0.3), 2, 2, true);
+
+    DynamicPartitioner ctrl(fg, {bg});
+    sys.setController(&ctrl);
+    sys.run();
+
+    // swaptions' MPKI never reacts: the controller must walk the
+    // allocation down to the floor.
+    EXPECT_EQ(ctrl.fgWays(), 2u);
+    EXPECT_GT(ctrl.reallocations(), 5u);
+    EXPECT_FALSE(ctrl.history().empty());
+}
+
+TEST(DynamicPartitioner, HoldsCapacityForCacheHungryFg)
+{
+    SystemConfig cfg;
+    cfg.perfWindow = 8e-6;
+    System sys(cfg);
+    const AppId fg = sys.addAppOnCores(
+        Catalog::byName("471.omnetpp").scaled(0.08), 0, 2);
+    const AppId bg = sys.addAppOnCores(
+        Catalog::byName("streamcluster").scaled(0.08), 2, 2, true);
+
+    DynamicPartitioner ctrl(fg, {bg});
+    sys.setController(&ctrl);
+    sys.run();
+
+    // omnetpp's MPKI reacts to shrinkage: the controller must keep a
+    // healthy allocation rather than walking to the floor.
+    EXPECT_GE(ctrl.fgWays(), 4u);
+}
+
+TEST(DynamicPartitioner, InstallsComplementaryMasks)
+{
+    SystemConfig cfg;
+    cfg.perfWindow = 8e-6;
+    System sys(cfg);
+    const AppId fg = sys.addAppOnCores(
+        Catalog::byName("ferret").scaled(0.05), 0, 2);
+    const AppId bg = sys.addAppOnCores(
+        Catalog::byName("dedup").scaled(0.05), 2, 2, true);
+    DynamicPartitioner ctrl(fg, {bg});
+    sys.setController(&ctrl);
+    sys.run();
+
+    const WayMask fg_mask = sys.wayMask(fg);
+    const WayMask bg_mask = sys.wayMask(bg);
+    EXPECT_EQ((fg_mask & bg_mask).count(), 0u);
+    EXPECT_EQ((fg_mask | bg_mask), WayMask::all(12));
+    EXPECT_EQ(fg_mask.count(), ctrl.fgWays());
+}
+
+TEST(DynamicPartitioner, HistoryRecordsMpkiTrace)
+{
+    SystemConfig cfg;
+    cfg.perfWindow = 8e-6;
+    System sys(cfg);
+    const AppId fg = sys.addAppOnCores(
+        Catalog::byName("429.mcf").scaled(0.1), 0, 2);
+    const AppId bg = sys.addAppOnCores(
+        Catalog::byName("dedup").scaled(0.1), 2, 2, true);
+    DynamicPartitioner ctrl(fg, {bg});
+    sys.setController(&ctrl);
+    sys.run();
+
+    ASSERT_GT(ctrl.history().size(), 20u);
+    // Time stamps increase; ways stay within configured bounds.
+    Seconds prev = -1.0;
+    for (const auto &ev : ctrl.history()) {
+        EXPECT_GT(ev.time, prev);
+        prev = ev.time;
+        EXPECT_GE(ev.fgWays, 2u);
+        EXPECT_LE(ev.fgWays, 11u);
+    }
+    // mcf has phases: the detector must fire at least once.
+    EXPECT_GE(ctrl.detector().phaseChanges(), 1u);
+}
+
+// --------------------------------------------------------- CoScheduler --
+
+TEST(CoScheduler, SummaryMetricsAreCoherent)
+{
+    CoScheduleOptions opts;
+    opts.scale = kTestScale;
+    CoScheduler cs(Catalog::byName("ferret"), Catalog::byName("dedup"),
+                   opts);
+
+    const ConsolidationSummary sh = cs.summarize(Policy::Shared);
+    EXPECT_GT(sh.fgSlowdown, 0.9);
+    EXPECT_LT(sh.fgSlowdown, 2.0);
+    EXPECT_GT(sh.weightedSpeedup, 1.0)
+        << "consolidating two saturating apps must beat sequential";
+    EXPECT_LT(sh.energyVsSequential, 1.0)
+        << "consolidation saves energy for these apps";
+    EXPECT_GT(sh.bgThroughput, 0.0);
+}
+
+TEST(CoScheduler, BiasedProtectsAtLeastAsWellAsShared)
+{
+    CoScheduleOptions opts;
+    opts.scale = kTestScale;
+    CoScheduler cs(Catalog::byName("canneal"),
+                   Catalog::byName("streamcluster"), opts);
+    const ConsolidationSummary sh = cs.summarize(Policy::Shared);
+    const ConsolidationSummary bi = cs.summarize(Policy::Biased);
+    EXPECT_LE(bi.fgSlowdown, sh.fgSlowdown * 1.02);
+}
+
+TEST(CoScheduler, DynamicTracksBiasedProtection)
+{
+    CoScheduleOptions opts;
+    opts.scale = 0.05;
+    opts.system.perfWindow = 8e-6;
+    CoScheduler cs(Catalog::byName("429.mcf"),
+                   Catalog::byName("dedup"), opts);
+    const ConsolidationSummary bi = cs.summarize(Policy::Biased);
+    const ConsolidationSummary dy = cs.summarize(Policy::Dynamic);
+    // §6.4: dynamic holds foreground within a few percent of the best
+    // static partition.
+    EXPECT_LT(dy.fgSlowdown, bi.fgSlowdown + 0.06);
+    EXPECT_NE(cs.lastDynamicController(), nullptr);
+}
+
+TEST(CoScheduler, CachesRepeatedQueries)
+{
+    CoScheduleOptions opts;
+    opts.scale = kTestScale;
+    CoScheduler cs(Catalog::byName("ferret"), Catalog::byName("batik"),
+                   opts);
+    const PairResult &a = cs.runPolicy(Policy::Shared, true);
+    const PairResult &b = cs.runPolicy(Policy::Shared, true);
+    EXPECT_EQ(&a, &b) << "same object: cached, not re-run";
+}
+
+} // namespace
+} // namespace capart

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the analytic core timing model: IPC ceiling, SMT
+ * throughput sharing, exposed hit penalties, and MLP overlap of misses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core_model.hh"
+
+namespace capart
+{
+namespace
+{
+
+QuantumCounts
+computeOnly(Insts insts)
+{
+    QuantumCounts q;
+    q.insts = insts;
+    q.l1Hits = insts / 4;
+    return q;
+}
+
+TEST(CoreTiming, ComputeBoundMatchesBaseIpc)
+{
+    CoreTimingModel m;
+    const Cycles c = m.quantumCycles(computeOnly(4000), 2.0, 4.0, false,
+                                     HierarchyLatencies{});
+    EXPECT_EQ(c, 2000u);
+}
+
+TEST(CoreTiming, SmtPeerReducesThroughput)
+{
+    CoreTimingModel m;
+    const Cycles alone = m.quantumCycles(computeOnly(4000), 2.0, 4.0,
+                                         false, HierarchyLatencies{});
+    const Cycles shared = m.quantumCycles(computeOnly(4000), 2.0, 4.0,
+                                          true, HierarchyLatencies{});
+    // smtFactor 0.62: the thread runs ~1.61x slower with a busy peer,
+    // but the pair together gets ~1.24x one thread's throughput.
+    EXPECT_NEAR(static_cast<double>(shared) / alone, 1.0 / 0.62, 0.01);
+}
+
+TEST(CoreTiming, L2AndLlcHitsArePartiallyExposed)
+{
+    CoreTimingModel m;
+    const HierarchyLatencies lat;
+    QuantumCounts q = computeOnly(4000);
+    const Cycles base = m.quantumCycles(q, 2.0, 4.0, false, lat);
+    q.l2Hits = 100;
+    const Cycles with_l2 = m.quantumCycles(q, 2.0, 4.0, false, lat);
+    q.l2Hits = 0;
+    q.llcHits = 100;
+    const Cycles with_llc = m.quantumCycles(q, 2.0, 4.0, false, lat);
+
+    EXPECT_GT(with_l2, base);
+    EXPECT_GT(with_llc, with_l2) << "LLC hits cost more than L2 hits";
+}
+
+TEST(CoreTiming, MissesScaleWithMemLatencyAndMlp)
+{
+    CoreTimingModel m;
+    const HierarchyLatencies lat;
+    QuantumCounts q = computeOnly(4000);
+    q.llcMisses = 50;
+    q.memLatency = 180;
+    const Cycles mlp1 = m.quantumCycles(q, 2.0, 1.0, false, lat);
+    const Cycles mlp4 = m.quantumCycles(q, 2.0, 4.0, false, lat);
+    EXPECT_GT(mlp1, mlp4) << "overlap shortens aggregate stall";
+
+    q.memLatency = 360;
+    const Cycles slow_mem = m.quantumCycles(q, 2.0, 4.0, false, lat);
+    EXPECT_GT(slow_mem, mlp4);
+}
+
+TEST(CoreTiming, MlpClampedByMshrs)
+{
+    CpuConfig cfg;
+    cfg.maxMlp = 10.0;
+    CoreTimingModel m(cfg);
+    const HierarchyLatencies lat;
+    QuantumCounts q = computeOnly(4000);
+    q.llcMisses = 100;
+    q.memLatency = 200;
+    const Cycles at10 = m.quantumCycles(q, 2.0, 10.0, false, lat);
+    const Cycles at100 = m.quantumCycles(q, 2.0, 100.0, false, lat);
+    EXPECT_EQ(at10, at100) << "MLP beyond the MSHRs gives nothing";
+}
+
+TEST(CoreTiming, RingExtraInflatesLlcLatency)
+{
+    CoreTimingModel m;
+    const HierarchyLatencies lat;
+    QuantumCounts q = computeOnly(4000);
+    q.llcHits = 200;
+    const Cycles quiet = m.quantumCycles(q, 2.0, 4.0, false, lat);
+    q.ringExtra = 20;
+    const Cycles busy = m.quantumCycles(q, 2.0, 4.0, false, lat);
+    EXPECT_GT(busy, quiet);
+}
+
+TEST(CoreTiming, CyclesToSeconds)
+{
+    CpuConfig cfg;
+    cfg.freqHz = 2e9;
+    CoreTimingModel m(cfg);
+    EXPECT_DOUBLE_EQ(m.cyclesToSeconds(2'000'000'000ull), 1.0);
+}
+
+TEST(CoreTiming, MonotoneInInstructions)
+{
+    CoreTimingModel m;
+    const HierarchyLatencies lat;
+    Cycles prev = 0;
+    for (Insts n = 1000; n <= 16000; n += 1000) {
+        const Cycles c =
+            m.quantumCycles(computeOnly(n), 1.5, 2.0, false, lat);
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+}
+
+} // namespace
+} // namespace capart

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the DRAM bandwidth model: queueing latency, per-flow
+ * demand-proportional sharing (the Fig. 4 mechanism), and counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_model.hh"
+#include "interconnect/ring.hh"
+
+namespace capart
+{
+namespace
+{
+
+TEST(Dram, UnloadedLatencyIsBase)
+{
+    DramModel d;
+    EXPECT_EQ(d.effectiveLatency(0.0), d.config().baseLatency);
+    EXPECT_DOUBLE_EQ(d.utilization(0.0), 0.0);
+}
+
+TEST(Dram, LatencyGrowsWithLoad)
+{
+    DramModel d;
+    // Saturate the window: post peak-rate traffic for a while.
+    const double peak = d.config().peakBytesPerSec;
+    const Seconds step = 10e-6;
+    for (int i = 0; i < 40; ++i) {
+        d.recordUncached(i * step,
+                         static_cast<std::uint64_t>(peak * step), 0);
+    }
+    const Seconds now = 40 * step;
+    EXPECT_GT(d.utilization(now), 0.8);
+    EXPECT_GT(d.effectiveLatency(now), d.config().baseLatency);
+    EXPECT_LE(d.effectiveLatency(now),
+              static_cast<Cycles>(d.config().baseLatency *
+                                  d.config().maxQueueFactor) + 1);
+}
+
+TEST(Dram, CountersTrackTraffic)
+{
+    DramModel d;
+    d.recordRead(0.0, 3, 0);
+    d.recordWrite(0.0, 2, 1);
+    d.recordUncached(0.0, 640, 2);
+    EXPECT_EQ(d.readLines(), 3u);
+    EXPECT_EQ(d.writeLines(), 2u);
+    EXPECT_EQ(d.uncachedBytes(), 640u);
+    EXPECT_EQ(d.totalBytes(), 5 * kLineBytes + 640u);
+}
+
+TEST(Dram, SoloFlowGetsFullPeak)
+{
+    DramModel d;
+    const double peak = d.config().peakBytesPerSec;
+    // A lone flow demanding half the peak sees the whole interface.
+    for (int i = 0; i < 20; ++i) {
+        d.recordDemand(i * 10e-6,
+                       static_cast<std::uint64_t>(peak * 0.5 * 10e-6), 0);
+    }
+    EXPECT_NEAR(d.availableFor(200e-6, 0), peak, peak * 0.05);
+}
+
+TEST(Dram, UndersubscribedFlowsUnthrottled)
+{
+    DramModel d;
+    const double peak = d.config().peakBytesPerSec;
+    // Two flows at 30% each: both should see >= their demand available.
+    for (int i = 0; i < 20; ++i) {
+        const Seconds t = i * 10e-6;
+        d.recordDemand(t, static_cast<std::uint64_t>(peak * 0.3 * 10e-6),
+                       0);
+        d.recordDemand(t, static_cast<std::uint64_t>(peak * 0.3 * 10e-6),
+                       1);
+    }
+    EXPECT_GE(d.availableFor(200e-6, 0), peak * 0.6);
+    EXPECT_GE(d.availableFor(200e-6, 1), peak * 0.6);
+}
+
+TEST(Dram, OversubscriptionSplitsProportionally)
+{
+    DramModel d;
+    const double peak = d.config().peakBytesPerSec;
+    // Flow 0 demands 3x what flow 1 demands; together over peak.
+    for (int i = 0; i < 20; ++i) {
+        const Seconds t = i * 10e-6;
+        d.recordDemand(t, static_cast<std::uint64_t>(peak * 0.9 * 10e-6),
+                       0);
+        d.recordDemand(t, static_cast<std::uint64_t>(peak * 0.3 * 10e-6),
+                       1);
+    }
+    const double a0 = d.availableFor(200e-6, 0);
+    const double a1 = d.availableFor(200e-6, 1);
+    EXPECT_NEAR(a0 + a1, peak, peak * 0.05);
+    EXPECT_NEAR(a0 / a1, 3.0, 0.5);
+}
+
+TEST(Dram, HogWeightIsCapped)
+{
+    DramModel d;
+    const double peak = d.config().peakBytesPerSec;
+    // A hog demanding 10x peak must not squeeze a 0.5-peak flow below
+    // its proportional share under the 1x-peak weight cap.
+    for (int i = 0; i < 20; ++i) {
+        const Seconds t = i * 10e-6;
+        d.recordDemand(t,
+                       static_cast<std::uint64_t>(peak * 10.0 * 10e-6),
+                       0);
+        d.recordDemand(t, static_cast<std::uint64_t>(peak * 0.5 * 10e-6),
+                       1);
+    }
+    // Weights: min(10p, p) = p vs 0.5p -> victim gets ~ peak/3.
+    EXPECT_NEAR(d.availableFor(200e-6, 1), peak / 3.0, peak * 0.08);
+}
+
+TEST(Dram, MinShareFloor)
+{
+    DramModel d;
+    const double peak = d.config().peakBytesPerSec;
+    for (int i = 0; i < 20; ++i) {
+        d.recordDemand(i * 10e-6,
+                       static_cast<std::uint64_t>(peak * 5 * 10e-6), 0);
+    }
+    // A flow that never posted demand still gets the floor.
+    EXPECT_GE(d.availableFor(200e-6, 7),
+              d.config().minShare * peak * 0.99);
+}
+
+TEST(Ring, ExtraLatencyZeroWhenIdle)
+{
+    RingInterconnect ring;
+    EXPECT_EQ(ring.extraLatency(0.0), 0u);
+}
+
+TEST(Ring, ExtraLatencyUnderLoad)
+{
+    RingInterconnect ring;
+    const double peak = ring.domain().config().peakBytesPerSec;
+    for (int i = 0; i < 40; ++i) {
+        ring.domain().record(i * 10e-6,
+                             static_cast<std::uint64_t>(peak * 10e-6));
+    }
+    EXPECT_GT(ring.extraLatency(400e-6), 0u);
+}
+
+TEST(BandwidthDomain, UtilizationClamped)
+{
+    BandwidthDomainConfig cfg;
+    cfg.peakBytesPerSec = 1e9;
+    BandwidthDomain dom(cfg);
+    for (int i = 0; i < 40; ++i) {
+        dom.record(i * cfg.bucketWidth,
+                   static_cast<std::uint64_t>(10e9 * cfg.bucketWidth));
+    }
+    EXPECT_LE(dom.utilization(40 * cfg.bucketWidth), 0.995);
+}
+
+} // namespace
+} // namespace capart

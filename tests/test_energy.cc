@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the energy model and the quantized meters mirroring
+ * RAPL (2^-16 s updates) and the 1 Hz wall meter (§2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+#include "energy/meters.hh"
+
+namespace capart
+{
+namespace
+{
+
+TEST(EnergyModel, IdleSocketIsStaticOnly)
+{
+    EnergyModel e;
+    EXPECT_DOUBLE_EQ(e.socketEnergy(2.0), e.config().socketIdle * 2.0);
+}
+
+TEST(EnergyModel, BusyCoreAddsActivePower)
+{
+    EnergyConfig cfg;
+    EnergyModel e(cfg);
+    e.addBusy(1.0, false);
+    EXPECT_DOUBLE_EQ(e.socketEnergy(1.0),
+                     cfg.socketIdle + cfg.coreActive);
+}
+
+TEST(EnergyModel, SmtPairSplitsCorePlusHtExtra)
+{
+    EnergyConfig cfg;
+    EnergyModel e(cfg);
+    // Both hyperthreads busy for 1 s: together they burn
+    // coreActive + htExtra, not 2x coreActive.
+    e.addBusy(1.0, true);
+    e.addBusy(1.0, true);
+    EXPECT_DOUBLE_EQ(e.socketEnergy(1.0),
+                     cfg.socketIdle + cfg.coreActive + cfg.htExtra);
+}
+
+TEST(EnergyModel, LlcAndDramEvents)
+{
+    EnergyConfig cfg;
+    EnergyModel e(cfg);
+    e.addLlcAccesses(1000);
+    e.addDramLines(10);
+    e.addDramBytes(640); // 10 more lines' worth
+    EXPECT_DOUBLE_EQ(e.socketEnergy(0.0), cfg.llcAccessEnergy * 1000);
+    // DRAM energy is wall-only.
+    EXPECT_DOUBLE_EQ(e.wallEnergy(0.0) - e.socketEnergy(0.0),
+                     cfg.dramLineEnergy * 20);
+}
+
+TEST(EnergyModel, WallIncludesRestOfSystem)
+{
+    EnergyConfig cfg;
+    EnergyModel e(cfg);
+    const Joules wall = e.wallEnergy(10.0);
+    const Joules socket = e.socketEnergy(10.0);
+    EXPECT_DOUBLE_EQ(wall - socket,
+                     (cfg.dramBackground + cfg.wallRest) * 10.0);
+}
+
+TEST(EnergyModel, RaceToHaltArithmetic)
+{
+    // The §4 scenario: finishing in half the time at higher active
+    // power still wins on energy because static power dominates.
+    EnergyConfig cfg;
+    EnergyModel slow(cfg);
+    slow.addBusy(10.0, false); // one core, 10 s
+    EnergyModel fast(cfg);
+    for (int ht = 0; ht < 8; ++ht)
+        fast.addBusy(2.0, true); // whole machine, 2 s
+    EXPECT_LT(fast.wallEnergy(2.0), slow.wallEnergy(10.0));
+}
+
+TEST(QuantizedCounter, RaplGranularity)
+{
+    QuantizedEnergyCounter rapl = QuantizedEnergyCounter::rapl();
+    EXPECT_DOUBLE_EQ(rapl.interval(), 1.0 / 65536.0);
+
+    // Feed a linear energy ramp; readings step at update boundaries.
+    rapl.update(0.0, 0.0);
+    EXPECT_DOUBLE_EQ(rapl.read(), 0.0);
+    rapl.update(0.4 / 65536.0, 0.4);
+    EXPECT_DOUBLE_EQ(rapl.read(), 0.0) << "no boundary crossed yet";
+    rapl.update(1.1 / 65536.0, 1.1);
+    EXPECT_DOUBLE_EQ(rapl.read(), 0.4) << "latched at the boundary";
+}
+
+TEST(QuantizedCounter, WallMeterOneSecond)
+{
+    QuantizedEnergyCounter wall = QuantizedEnergyCounter::wallMeter();
+    wall.update(0.0, 0.0);
+    wall.update(0.9, 45.0);
+    EXPECT_DOUBLE_EQ(wall.read(), 0.0);
+    wall.update(1.5, 75.0);
+    EXPECT_DOUBLE_EQ(wall.read(), 45.0);
+    wall.update(2.5, 125.0);
+    EXPECT_DOUBLE_EQ(wall.read(), 75.0);
+}
+
+TEST(PowerTrace, DerivesPowerFromEnergySamples)
+{
+    PowerTrace trace;
+    trace.sample(0.0, 0.0);
+    trace.sample(1.0, 50.0);
+    trace.sample(2.0, 150.0);
+    ASSERT_EQ(trace.samples().size(), 2u);
+    EXPECT_DOUBLE_EQ(trace.samples()[0].power, 50.0);
+    EXPECT_DOUBLE_EQ(trace.samples()[1].power, 100.0);
+}
+
+TEST(PowerTrace, IgnoresNonAdvancingSamples)
+{
+    PowerTrace trace;
+    trace.sample(1.0, 10.0);
+    trace.sample(1.0, 20.0);
+    EXPECT_TRUE(trace.samples().empty());
+}
+
+} // namespace
+} // namespace capart

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the stack-distance / miss-rate-curve profiler, including a
+ * property check against a naive reference LRU stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "analysis/mrc.hh"
+#include "common/rng.hh"
+
+namespace capart
+{
+namespace
+{
+
+/** Naive O(n) LRU stack used as the ground-truth oracle. */
+class ReferenceStack
+{
+  public:
+    /** @return stack distance, or -1 for a cold miss. */
+    long
+    access(Addr line)
+    {
+        const auto it = std::find(stack_.begin(), stack_.end(), line);
+        long d = -1;
+        if (it != stack_.end()) {
+            d = static_cast<long>(std::distance(stack_.begin(), it));
+            stack_.erase(it);
+        }
+        stack_.push_front(line);
+        return d;
+    }
+
+  private:
+    std::deque<Addr> stack_;
+};
+
+TEST(Mrc, RepeatedLineIsDistanceZero)
+{
+    StackDistanceProfiler p;
+    p.access(7);
+    p.access(7);
+    p.access(7);
+    EXPECT_EQ(p.accesses(), 3u);
+    EXPECT_EQ(p.uniqueLines(), 1u);
+    // Any cache with >= 1 line hits the two reuses.
+    EXPECT_NEAR(p.missRatio(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Mrc, SequentialLoopNeedsFullFootprint)
+{
+    StackDistanceProfiler p;
+    constexpr std::uint64_t kLines = 64;
+    for (int round = 0; round < 4; ++round)
+        for (Addr l = 0; l < kLines; ++l)
+            p.access(l);
+    // LRU pathologically misses a cyclic working set one line too big.
+    EXPECT_NEAR(p.missRatio(kLines - 1), 1.0, 1e-12);
+    // At the full footprint every reuse hits: only cold misses remain.
+    EXPECT_NEAR(p.missRatio(kLines),
+                static_cast<double>(kLines) / p.accesses(), 1e-12);
+}
+
+TEST(Mrc, MissRatioMonotoneInCapacity)
+{
+    StackDistanceProfiler p;
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i)
+        p.access(rng.below(512));
+    double prev = 1.1;
+    for (const std::uint64_t cap : {8u, 32u, 128u, 256u, 512u, 1024u}) {
+        const double m = p.missRatio(cap);
+        EXPECT_LE(m, prev + 1e-12);
+        prev = m;
+    }
+    // Everything fits at 512 lines: only cold misses remain.
+    EXPECT_NEAR(p.missRatio(512),
+                static_cast<double>(p.uniqueLines()) / p.accesses(),
+                1e-12);
+}
+
+TEST(Mrc, MatchesReferenceStackOnRandomTrace)
+{
+    StackDistanceProfiler p;
+    ReferenceStack ref;
+    Rng rng(11);
+
+    std::vector<std::uint64_t> ref_hist;
+    std::uint64_t ref_cold = 0;
+    const std::uint64_t n = 4000;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        // A mix of hot (0..15) and colder (0..255) lines.
+        const Addr line =
+            rng.chance(0.5) ? rng.below(16) : rng.below(256);
+        p.access(line);
+        const long d = ref.access(line);
+        if (d < 0) {
+            ++ref_cold;
+        } else {
+            if (ref_hist.size() <= static_cast<std::size_t>(d))
+                ref_hist.resize(static_cast<std::size_t>(d) + 1, 0);
+            ++ref_hist[static_cast<std::size_t>(d)];
+        }
+    }
+
+    // Same histogram, hence identical miss ratios everywhere.
+    for (const std::uint64_t cap : {1u, 2u, 4u, 8u, 16u, 64u, 256u}) {
+        std::uint64_t ref_misses = ref_cold;
+        for (std::size_t d = 0; d < ref_hist.size(); ++d) {
+            if (d + 1 > cap)
+                ref_misses += ref_hist[d];
+        }
+        EXPECT_NEAR(p.missRatio(cap),
+                    static_cast<double>(ref_misses) / n, 1e-12)
+            << "capacity " << cap;
+    }
+}
+
+TEST(Mrc, MissRatiosBatchMatchesScalar)
+{
+    StackDistanceProfiler p;
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i)
+        p.access(rng.below(128));
+    const std::vector<std::uint64_t> caps = {1, 4, 16, 64, 128};
+    const std::vector<double> batch = p.missRatios(caps);
+    ASSERT_EQ(batch.size(), caps.size());
+    for (std::size_t i = 0; i < caps.size(); ++i)
+        EXPECT_DOUBLE_EQ(batch[i], p.missRatio(caps[i]));
+}
+
+TEST(Mrc, EmptyProfilerIsSafe)
+{
+    StackDistanceProfiler p;
+    EXPECT_DOUBLE_EQ(p.missRatio(64), 0.0);
+    EXPECT_EQ(p.accesses(), 0u);
+    EXPECT_EQ(p.uniqueLines(), 0u);
+}
+
+} // namespace
+} // namespace capart

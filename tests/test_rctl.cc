@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the resctrl-style control plane: schemata parsing, CAT
+ * mask rules, group lifecycle, task assignment, and monitoring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rctl/resctrl.hh"
+#include "workload/catalog.hh"
+
+namespace capart
+{
+namespace
+{
+
+struct Fixture
+{
+    Fixture()
+        : sys(SystemConfig{}),
+          fg(sys.addAppOnCores(Catalog::byName("ferret").scaled(0.02), 0,
+                               2)),
+          bg(sys.addAppOnCores(Catalog::byName("dedup").scaled(0.02), 2,
+                               2)),
+          fs(sys)
+    {
+    }
+
+    System sys;
+    AppId fg;
+    AppId bg;
+    ResctrlFs fs;
+};
+
+TEST(Schemata, ParseValid)
+{
+    EXPECT_EQ(ResctrlFs::parseSchemata("L3:0=fff", 12)->bits(), 0xfffu);
+    EXPECT_EQ(ResctrlFs::parseSchemata("L3:0=0f0", 12)->bits(), 0x0f0u);
+    EXPECT_EQ(ResctrlFs::parseSchemata("  L3:0=3  ", 12)->bits(), 0x3u);
+    EXPECT_EQ(ResctrlFs::parseSchemata("L3:0=FF", 12)->bits(), 0xffu);
+}
+
+TEST(Schemata, ParseRejectsGarbage)
+{
+    EXPECT_FALSE(ResctrlFs::parseSchemata("", 12).has_value());
+    EXPECT_FALSE(ResctrlFs::parseSchemata("L3:0=", 12).has_value());
+    EXPECT_FALSE(ResctrlFs::parseSchemata("L3:0=xyz", 12).has_value());
+    EXPECT_FALSE(ResctrlFs::parseSchemata("L2:0=ff", 12).has_value());
+    // Mask bits beyond the cache's ways.
+    EXPECT_FALSE(ResctrlFs::parseSchemata("L3:0=1fff", 12).has_value());
+}
+
+TEST(Schemata, FormatRoundTrip)
+{
+    const WayMask m = WayMask::range(4, 6);
+    EXPECT_EQ(ResctrlFs::parseSchemata(ResctrlFs::formatSchemata(m), 12)
+                  ->bits(),
+              m.bits());
+}
+
+TEST(CatRules, ContiguityEnforced)
+{
+    CatConstraints cat;
+    EXPECT_TRUE(ResctrlFs::maskAllowed(WayMask{0b000111}, 12, cat));
+    EXPECT_TRUE(ResctrlFs::maskAllowed(WayMask{0b111000}, 12, cat));
+    EXPECT_FALSE(ResctrlFs::maskAllowed(WayMask{0b101}, 12, cat))
+        << "holes violate Intel CAT";
+    cat.requireContiguous = false;
+    EXPECT_TRUE(ResctrlFs::maskAllowed(WayMask{0b101}, 12, cat));
+}
+
+TEST(CatRules, MinWaysAndBounds)
+{
+    CatConstraints cat;
+    cat.minWays = 2;
+    EXPECT_FALSE(ResctrlFs::maskAllowed(WayMask{0b1}, 12, cat));
+    EXPECT_TRUE(ResctrlFs::maskAllowed(WayMask{0b11}, 12, cat));
+    EXPECT_FALSE(ResctrlFs::maskAllowed(WayMask{}, 12, cat));
+    EXPECT_FALSE(
+        ResctrlFs::maskAllowed(WayMask{0xfffff}, 12, CatConstraints{}))
+        << "mask beyond the cache's ways";
+}
+
+TEST(Resctrl, GroupLifecycle)
+{
+    Fixture f;
+    EXPECT_EQ(f.fs.createGroup("latency"), RctlStatus::Ok);
+    EXPECT_EQ(f.fs.createGroup("latency"), RctlStatus::Exists);
+    EXPECT_EQ(f.fs.listGroups().size(), 2u);
+    EXPECT_EQ(f.fs.removeGroup("latency"), RctlStatus::Ok);
+    EXPECT_EQ(f.fs.removeGroup("latency"), RctlStatus::NotFound);
+    EXPECT_EQ(f.fs.removeGroup(""), RctlStatus::Busy)
+        << "default group is permanent";
+}
+
+TEST(Resctrl, ClosLimitEnforced)
+{
+    Fixture f;
+    CatConstraints cat;
+    cat.maxGroups = 2;
+    ResctrlFs fs(f.sys, cat);
+    EXPECT_EQ(fs.createGroup("a"), RctlStatus::Ok);
+    EXPECT_EQ(fs.createGroup("b"), RctlStatus::Ok);
+    EXPECT_EQ(fs.createGroup("c"), RctlStatus::NoSpace);
+}
+
+TEST(Resctrl, SchemataWriteAppliesToMembers)
+{
+    Fixture f;
+    ASSERT_EQ(f.fs.createGroup("latency"), RctlStatus::Ok);
+    ASSERT_EQ(f.fs.assignApp("latency", f.fg), RctlStatus::Ok);
+    ASSERT_EQ(f.fs.writeSchemata("latency", "L3:0=ff0"),
+              RctlStatus::Ok);
+    EXPECT_EQ(f.sys.wayMask(f.fg).bits(), 0xff0u);
+    // The other app is untouched.
+    EXPECT_EQ(f.sys.wayMask(f.bg), WayMask::all(12));
+    EXPECT_EQ(*f.fs.readSchemata("latency"), "L3:0=ff0");
+}
+
+TEST(Resctrl, AssignAfterSchemataInheritsMask)
+{
+    Fixture f;
+    ASSERT_EQ(f.fs.createGroup("batch"), RctlStatus::Ok);
+    ASSERT_EQ(f.fs.writeSchemata("batch", "L3:0=00f"), RctlStatus::Ok);
+    ASSERT_EQ(f.fs.assignApp("batch", f.bg), RctlStatus::Ok);
+    EXPECT_EQ(f.sys.wayMask(f.bg).bits(), 0x00fu);
+    EXPECT_EQ(f.fs.groupOf(f.bg), "batch");
+    EXPECT_EQ(f.fs.groupOf(f.fg), "");
+}
+
+TEST(Resctrl, ReassignmentMovesBetweenGroups)
+{
+    Fixture f;
+    f.fs.createGroup("a");
+    f.fs.createGroup("b");
+    f.fs.writeSchemata("a", "L3:0=f00");
+    f.fs.writeSchemata("b", "L3:0=0ff");
+    f.fs.assignApp("a", f.fg);
+    EXPECT_EQ(f.sys.wayMask(f.fg).bits(), 0xf00u);
+    f.fs.assignApp("b", f.fg);
+    EXPECT_EQ(f.sys.wayMask(f.fg).bits(), 0x0ffu);
+    EXPECT_EQ(f.fs.groupOf(f.fg), "b");
+    // Group a is now empty and removable.
+    EXPECT_EQ(f.fs.removeGroup("a"), RctlStatus::Ok);
+}
+
+TEST(Resctrl, InvalidSchemataRejected)
+{
+    Fixture f;
+    f.fs.createGroup("g");
+    EXPECT_EQ(f.fs.writeSchemata("g", "L3:0=505"),
+              RctlStatus::InvalidMask); // holes
+    EXPECT_EQ(f.fs.writeSchemata("g", "bogus"), RctlStatus::InvalidMask);
+    EXPECT_EQ(f.fs.writeSchemata("nope", "L3:0=f"),
+              RctlStatus::NotFound);
+}
+
+TEST(Resctrl, MonitoringAggregatesGroupTraffic)
+{
+    Fixture f;
+    f.fs.createGroup("latency");
+    f.fs.assignApp("latency", f.fg);
+    f.sys.run();
+    const auto mon = f.fs.monitor("latency");
+    ASSERT_TRUE(mon.has_value());
+    EXPECT_GT(mon->llcAccesses, 0u);
+    EXPECT_GE(mon->llcAccesses, mon->llcHits);
+    EXPECT_FALSE(f.fs.monitor("ghost").has_value());
+}
+
+TEST(Resctrl, StatusNames)
+{
+    EXPECT_STREQ(rctlStatusName(RctlStatus::Ok), "ok");
+    EXPECT_STREQ(rctlStatusName(RctlStatus::InvalidMask),
+                 "invalid-mask");
+}
+
+} // namespace
+} // namespace capart
