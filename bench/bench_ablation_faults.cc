@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Ablation: chaos bench for the hardened dynamic partitioner.
+ *
+ * The paper's prototype assumes clean telemetry and an infallible
+ * remasking path. This ablation injects the faults a production
+ * deployment sees — corrupted/dropped/stale counter windows and failed
+ * or delayed schemata writes — at increasing rates, and reports how far
+ * the foreground's protection degrades relative to the fault-free
+ * dynamic run. Acceptance: at 5% corruption + 5% remask failure the
+ * foreground slowdown stays within 3 percentage points of fault-free.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/dynamic_partitioner.hh"
+#include "fault/fault_injector.hh"
+#include "workload/catalog.hh"
+
+using namespace capart;
+using namespace capart::bench;
+
+namespace
+{
+
+struct ChaosResult
+{
+    double fgSlowdown = 0.0;
+    double bgThroughput = 0.0;
+    unsigned fgWays = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t remaskFailures = 0;
+    std::uint64_t fallbacks = 0;
+    FaultStats faults;
+};
+
+ChaosResult
+runChaos(const AppParams &fg, const AppParams &bg, double fault_rate,
+         const BenchOptions &opts, Seconds solo_time)
+{
+    PairOptions pair;
+    pair.scale = opts.scale;
+    pair.system.seed = opts.seed;
+    pair.system.perfWindow = 15e-6;
+
+    FaultPlan plan;
+    plan.windowDropRate = fault_rate;
+    plan.counterCorruptRate = fault_rate;
+    plan.nanRate = fault_rate / 2;
+    plan.staleRate = fault_rate;
+    plan.remaskFailRate = fault_rate;
+    plan.remaskDelayRate = fault_rate / 2;
+    FaultInjector inj(plan, opts.seed);
+    FaultyRemasker remasker(inj);
+
+    DynamicPartitioner ctrl(0, {1}, DynamicPartitionerConfig{},
+                            &remasker);
+    pair.controller = &ctrl;
+    pair.prepare = [&inj, fault_rate](System &sys, AppId, AppId) {
+        if (fault_rate > 0.0)
+            inj.attach(sys);
+    };
+
+    const PairResult r = runPair(fg, bg, pair);
+
+    ChaosResult out;
+    out.fgSlowdown = r.fgTime / solo_time;
+    out.bgThroughput = r.bgThroughput;
+    out.fgWays = ctrl.fgWays();
+    out.rejected = ctrl.rejectedSamples();
+    out.remaskFailures = ctrl.remaskFailures();
+    out.fallbacks = countHealthEvents(ctrl.healthLog(),
+                                      HealthEventKind::FallbackEntered);
+    out.faults = inj.stats();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts = parseArgs(
+        argc, argv, 0.08,
+        "Ablation: dynamic partitioning under injected telemetry and "
+        "control-plane faults");
+
+    const struct
+    {
+        const char *fg;
+        const char *bg;
+    } pairs[] = {{"429.mcf", "dedup"}, {"dedup", "471.omnetpp"}};
+
+    const double rates[] = {0.0, 0.02, 0.05, 0.10};
+
+    for (const auto &p : pairs) {
+        const AppParams fg = Catalog::byName(p.fg);
+        const AppParams bg = Catalog::byName(p.bg);
+
+        SoloOptions solo;
+        solo.scale = opts.scale;
+        solo.system.seed = opts.seed;
+        solo.system.perfWindow = 15e-6;
+        const Seconds solo_time = runSolo(fg, solo).time;
+
+        Table t({"fault-rate", "fg-slowdown", "bg-throughput",
+                 "settled-fg-ways", "rejected", "remask-fails",
+                 "fallbacks", "inj-drop", "inj-corrupt", "inj-stale"});
+        double clean_slowdown = 0.0;
+        for (const double rate : rates) {
+            const ChaosResult r = runChaos(fg, bg, rate, opts, solo_time);
+            if (rate == 0.0)
+                clean_slowdown = r.fgSlowdown;
+            t.addRow({Table::num(rate, 2), Table::num(r.fgSlowdown, 3),
+                      Table::num(r.bgThroughput / 1e9, 3),
+                      std::to_string(r.fgWays),
+                      std::to_string(r.rejected),
+                      std::to_string(r.remaskFailures),
+                      std::to_string(r.fallbacks),
+                      std::to_string(r.faults.windowsDropped),
+                      std::to_string(r.faults.windowsCorrupted),
+                      std::to_string(r.faults.windowsStale)});
+            std::cerr << p.fg << "+" << p.bg << " rate=" << rate
+                      << " fg-slowdown=" << r.fgSlowdown << " (clean="
+                      << clean_slowdown << ")\n";
+        }
+        emit(opts,
+             std::string("Fault ablation for ") + p.fg + " + " + p.bg,
+             t);
+    }
+    std::cout << "\nExpectation: the hardened controller holds the "
+                 "foreground within ~3 percentage points of the "
+                 "fault-free slowdown up to 5% fault rates, and the "
+                 "watchdog keeps fallbacks rare.\n";
+    return 0;
+}

@@ -168,11 +168,17 @@ bench/CMakeFiles/bench_ablation_mrc.dir/bench_ablation_mrc.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/types.hh \
  /root/repo/bench/bench_common.hh /root/repo/src/sim/experiment.hh \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/mem/way_mask.hh /usr/include/c++/12/bit \
  /root/repo/src/common/logging.hh /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/run_result.hh \
  /root/repo/src/sim/system.hh /usr/include/c++/12/limits \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
@@ -217,7 +223,7 @@ bench/CMakeFiles/bench_ablation_mrc.dir/bench_ablation_mrc.cc.o: \
  /root/repo/src/interconnect/ring.hh /root/repo/src/mem/hierarchy.hh \
  /root/repo/src/mem/cache_config.hh /root/repo/src/mem/set_assoc_cache.hh \
  /root/repo/src/mem/replacement.hh /root/repo/src/common/rng.hh \
- /root/repo/src/perf/perf_counters.hh /usr/include/c++/12/array \
+ /root/repo/src/perf/perf_counters.hh \
  /root/repo/src/prefetch/prefetchers.hh \
  /root/repo/src/sim/system_config.hh /root/repo/src/workload/generator.hh \
  /root/repo/src/workload/app_params.hh /root/repo/src/stats/table.hh \

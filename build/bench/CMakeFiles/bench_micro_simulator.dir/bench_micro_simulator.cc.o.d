@@ -219,14 +219,18 @@ bench/CMakeFiles/bench_micro_simulator.dir/bench_micro_simulator.cc.o: \
  /root/repo/src/common/logging.hh /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/experiment.hh \
- /root/repo/src/sim/run_result.hh /root/repo/src/sim/system.hh \
- /usr/include/c++/12/optional \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/cpu/core_model.hh /root/repo/src/dram/dram_model.hh \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/sim/run_result.hh /root/repo/src/sim/system.hh \
+ /usr/include/c++/12/optional /root/repo/src/cpu/core_model.hh \
+ /root/repo/src/dram/dram_model.hh \
  /root/repo/src/interconnect/bandwidth_domain.hh \
  /root/repo/src/stats/rate_window.hh \
  /root/repo/src/energy/energy_model.hh \
  /root/repo/src/interconnect/ring.hh /root/repo/src/perf/perf_counters.hh \
- /usr/include/c++/12/array /root/repo/src/prefetch/prefetchers.hh \
+ /root/repo/src/prefetch/prefetchers.hh \
  /root/repo/src/sim/system_config.hh /root/repo/src/workload/generator.hh \
  /root/repo/src/workload/app_params.hh /root/repo/src/workload/catalog.hh

@@ -13,11 +13,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/capart_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/capart_core.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/capart_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/capart_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/capart_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/capart_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rctl/CMakeFiles/capart_rctl.dir/DependInfo.cmake"
   "/root/repo/build/src/cpu/CMakeFiles/capart_cpu.dir/DependInfo.cmake"
   "/root/repo/build/src/dram/CMakeFiles/capart_dram.dir/DependInfo.cmake"
   "/root/repo/build/src/mem/CMakeFiles/capart_mem.dir/DependInfo.cmake"

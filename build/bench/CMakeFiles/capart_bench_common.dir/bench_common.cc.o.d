@@ -123,12 +123,28 @@ bench/CMakeFiles/capart_bench_common.dir/bench_common.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/experiment.hh \
+ /usr/include/c++/12/functional /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/mem/way_mask.hh /usr/include/c++/12/bit \
  /root/repo/src/common/logging.hh /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/ios \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
@@ -164,15 +180,11 @@ bench/CMakeFiles/capart_bench_common.dir/bench_common.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/run_result.hh \
  /root/repo/src/common/types.hh /root/repo/src/sim/system.hh \
  /usr/include/c++/12/limits /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/ext/concurrence.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -204,7 +216,6 @@ bench/CMakeFiles/capart_bench_common.dir/bench_common.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/cpu/core_model.hh /root/repo/src/common/units.hh \
  /root/repo/src/dram/dram_model.hh \
  /root/repo/src/interconnect/bandwidth_domain.hh \
@@ -213,7 +224,7 @@ bench/CMakeFiles/capart_bench_common.dir/bench_common.cc.o: \
  /root/repo/src/interconnect/ring.hh /root/repo/src/mem/hierarchy.hh \
  /root/repo/src/mem/cache_config.hh /root/repo/src/mem/set_assoc_cache.hh \
  /root/repo/src/mem/replacement.hh /root/repo/src/common/rng.hh \
- /root/repo/src/perf/perf_counters.hh /usr/include/c++/12/array \
+ /root/repo/src/perf/perf_counters.hh \
  /root/repo/src/prefetch/prefetchers.hh \
  /root/repo/src/sim/system_config.hh /root/repo/src/workload/generator.hh \
  /root/repo/src/workload/app_params.hh /root/repo/src/stats/table.hh \

@@ -204,24 +204,33 @@ examples/CMakeFiles/colocate_websearch.dir/colocate_websearch.cpp.o: \
  /root/repo/src/core/dynamic_partitioner.hh /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/core/phase_detector.hh /root/repo/src/sim/system.hh \
- /usr/include/c++/12/limits /root/repo/src/common/types.hh \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/health.hh \
+ /root/repo/src/common/logging.hh /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/types.hh \
+ /root/repo/src/core/phase_detector.hh /root/repo/src/core/remasker.hh \
+ /root/repo/src/sim/experiment.hh /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/mem/way_mask.hh /root/repo/src/sim/run_result.hh \
+ /root/repo/src/sim/system.hh /usr/include/c++/12/limits \
  /root/repo/src/cpu/core_model.hh /root/repo/src/common/units.hh \
  /root/repo/src/dram/dram_model.hh \
  /root/repo/src/interconnect/bandwidth_domain.hh \
- /root/repo/src/stats/rate_window.hh /root/repo/src/common/logging.hh \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/stats/rate_window.hh \
  /root/repo/src/energy/energy_model.hh \
  /root/repo/src/interconnect/ring.hh /root/repo/src/mem/hierarchy.hh \
  /root/repo/src/mem/cache_config.hh /root/repo/src/mem/set_assoc_cache.hh \
  /root/repo/src/mem/replacement.hh /root/repo/src/common/rng.hh \
- /root/repo/src/mem/way_mask.hh /root/repo/src/perf/perf_counters.hh \
- /usr/include/c++/12/array /root/repo/src/prefetch/prefetchers.hh \
- /root/repo/src/sim/run_result.hh /root/repo/src/sim/system_config.hh \
- /root/repo/src/workload/generator.hh \
+ /root/repo/src/perf/perf_counters.hh \
+ /root/repo/src/prefetch/prefetchers.hh \
+ /root/repo/src/sim/system_config.hh /root/repo/src/workload/generator.hh \
  /root/repo/src/workload/app_params.hh \
- /root/repo/src/core/static_policies.hh /root/repo/src/sim/experiment.hh \
+ /root/repo/src/core/static_policies.hh \
  /root/repo/src/workload/catalog.hh

@@ -17,4 +17,5 @@ subdirs("workload")
 subdirs("sim")
 subdirs("core")
 subdirs("rctl")
+subdirs("fault")
 subdirs("analysis")

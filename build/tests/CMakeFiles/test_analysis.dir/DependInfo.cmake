@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/capart_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/rctl/CMakeFiles/capart_rctl.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/capart_core.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/capart_analysis.dir/DependInfo.cmake"

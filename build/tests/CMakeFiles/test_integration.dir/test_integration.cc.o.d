@@ -297,19 +297,22 @@ tests/CMakeFiles/test_integration.dir/test_integration.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/co_scheduler.hh \
- /root/repo/src/core/dynamic_partitioner.hh \
- /root/repo/src/core/phase_detector.hh /root/repo/src/sim/system.hh \
- /root/repo/src/common/types.hh /root/repo/src/cpu/core_model.hh \
- /root/repo/src/common/units.hh /root/repo/src/dram/dram_model.hh \
+ /root/repo/src/core/dynamic_partitioner.hh /root/repo/src/core/health.hh \
+ /root/repo/src/common/logging.hh /root/repo/src/common/types.hh \
+ /root/repo/src/core/phase_detector.hh /root/repo/src/core/remasker.hh \
+ /root/repo/src/sim/experiment.hh /root/repo/src/mem/way_mask.hh \
+ /root/repo/src/sim/run_result.hh /root/repo/src/sim/system.hh \
+ /root/repo/src/cpu/core_model.hh /root/repo/src/common/units.hh \
+ /root/repo/src/dram/dram_model.hh \
  /root/repo/src/interconnect/bandwidth_domain.hh \
- /root/repo/src/stats/rate_window.hh /root/repo/src/common/logging.hh \
+ /root/repo/src/stats/rate_window.hh \
  /root/repo/src/energy/energy_model.hh \
  /root/repo/src/interconnect/ring.hh /root/repo/src/mem/hierarchy.hh \
  /root/repo/src/mem/cache_config.hh /root/repo/src/mem/set_assoc_cache.hh \
  /root/repo/src/mem/replacement.hh /root/repo/src/common/rng.hh \
- /root/repo/src/mem/way_mask.hh /root/repo/src/perf/perf_counters.hh \
- /root/repo/src/prefetch/prefetchers.hh /root/repo/src/sim/run_result.hh \
+ /root/repo/src/perf/perf_counters.hh \
+ /root/repo/src/prefetch/prefetchers.hh \
  /root/repo/src/sim/system_config.hh /root/repo/src/workload/generator.hh \
  /root/repo/src/workload/app_params.hh \
- /root/repo/src/core/static_policies.hh /root/repo/src/sim/experiment.hh \
- /root/repo/src/stats/summary.hh /root/repo/src/workload/catalog.hh
+ /root/repo/src/core/static_policies.hh /root/repo/src/stats/summary.hh \
+ /root/repo/src/workload/catalog.hh

@@ -20,4 +20,5 @@ include("/root/repo/build/tests/test_core[1]_include.cmake")
 include("/root/repo/build/tests/test_analysis[1]_include.cmake")
 include("/root/repo/build/tests/test_mrc[1]_include.cmake")
 include("/root/repo/build/tests/test_rctl[1]_include.cmake")
+include("/root/repo/build/tests/test_fault[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -7,14 +7,20 @@
  *   1. creates `latency` and `batch` control groups,
  *   2. pins the foreground into `latency` and the background into
  *      `batch` with complementary schemata,
- *   3. runs the co-schedule while Algorithm 6.2 (via the library's
- *      DynamicPartitioner) adjusts the split, and
- *   4. prints the groups' CMT-style monitoring data afterwards.
+ *   3. runs the co-schedule while the hardened Algorithm 6.2 (the
+ *      library's DynamicPartitioner behind a ResctrlRemasker) adjusts
+ *      the split *through the control plane* — while a fault injector
+ *      makes that control plane realistically unreliable: noisy counter
+ *      reads and occasional EIO on schemata writes, and
+ *   4. prints the groups' CMT-style monitoring data plus the
+ *      controller's health report afterwards.
  */
 
 #include <cstdio>
 
 #include "core/dynamic_partitioner.hh"
+#include "fault/fault_injector.hh"
+#include "fault/resctrl_remasker.hh"
 #include "rctl/resctrl.hh"
 #include "workload/catalog.hh"
 
@@ -52,17 +58,34 @@ main()
                 resctrl.readSchemata("latency")->c_str(),
                 resctrl.readSchemata("batch")->c_str());
 
-    // Hand ongoing adjustment to the paper's dynamic policy.
-    DynamicPartitioner controller(search, {indexer});
+    // Make the machine realistically hostile: 2% of the foreground's
+    // counter windows are dropped/corrupted/stale and 5% of schemata
+    // writes fail with EIO. (Delete these four lines for the perfect
+    // machine the paper's prototype ran on.)
+    FaultPlan plan = FaultPlan::noisyTelemetry(0.02);
+    plan.remaskFailRate = 0.05;
+    plan.telemetryTarget = search;
+    FaultInjector chaos(plan, /*seed=*/2024);
+    chaos.attach(machine);
+    resctrl.setFaultHook(&chaos);
+
+    // Hand ongoing adjustment to the hardened dynamic policy, writing
+    // masks through the control plane (so injected EIO is felt and
+    // retried) rather than poking MSRs directly.
+    ResctrlRemasker remasker(resctrl, "latency", "batch");
+    DynamicPartitioner controller(search, {indexer},
+                                  DynamicPartitionerConfig{}, &remasker);
     machine.setController(&controller);
     const RunResult result = machine.run();
 
     const auto lat_mon = resctrl.monitor("latency");
     const auto bat_mon = resctrl.monitor("batch");
     std::printf("\nforeground finished in %.2f ms "
-                "(settled at %u ways)\n",
+                "(settled at %u ways, %s mode)\n",
                 result.app(search).completionTime * 1e3,
-                controller.fgWays());
+                controller.fgWays(),
+                controller.mode() == ControlMode::Dynamic ? "dynamic"
+                                                          : "fallback");
     std::printf("latency group: %llu LLC accesses, %.1f%% hits\n",
                 static_cast<unsigned long long>(lat_mon->llcAccesses),
                 100.0 * lat_mon->llcHits /
@@ -73,5 +96,34 @@ main()
                 100.0 * bat_mon->llcHits /
                     std::max<std::uint64_t>(1, bat_mon->llcAccesses),
                 result.app(indexer).retired / 1e6);
+
+    // The health report an operator's monitoring would scrape.
+    const FaultStats &injected = chaos.stats();
+    std::printf("\ninjected faults: %llu windows dropped, %llu corrupted,"
+                " %llu stale, %llu schemata EIO, %llu apply failures\n",
+                static_cast<unsigned long long>(injected.windowsDropped),
+                static_cast<unsigned long long>(injected.windowsCorrupted),
+                static_cast<unsigned long long>(injected.windowsStale),
+                static_cast<unsigned long long>(injected.schemataFails),
+                static_cast<unsigned long long>(injected.applyFails));
+    std::printf("controller health: %llu samples rejected, %llu/%llu "
+                "remasks failed, %llu watchdog fallbacks\n",
+                static_cast<unsigned long long>(
+                    controller.rejectedSamples()),
+                static_cast<unsigned long long>(
+                    controller.remaskFailures()),
+                static_cast<unsigned long long>(
+                    controller.remaskAttempts()),
+                static_cast<unsigned long long>(countHealthEvents(
+                    controller.healthLog(),
+                    HealthEventKind::FallbackEntered)));
+    for (const HealthEvent &ev : controller.healthLog()) {
+        if (ev.kind == HealthEventKind::FallbackEntered ||
+            ev.kind == HealthEventKind::DynamicResumed) {
+            std::printf("  %.3f ms  %-16s fgWays=%u count=%u\n",
+                        ev.time * 1e3, healthEventName(ev.kind),
+                        ev.fgWays, ev.count);
+        }
+    }
     return 0;
 }

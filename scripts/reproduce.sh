@@ -1,8 +1,19 @@
 #!/usr/bin/env bash
 # Reproduce the full evaluation: build, test, and run every
 # table/figure binary, capturing logs at the repository root.
+#
+#   --sanitize   additionally build with ASan+UBSan into build-asan/
+#                and run the test suite under the sanitizers first.
 set -u
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--sanitize" ]; then
+    cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCAPART_SANITIZE=ON
+    cmake --build build-asan
+    ctest --test-dir build-asan --output-on-failure 2>&1 |
+        tee test_output_asan.txt
+fi
 
 cmake -B build -G Ninja
 cmake --build build

@@ -8,16 +8,67 @@
 namespace capart
 {
 
-DynamicPartitioner::DynamicPartitioner(AppId fg, std::vector<AppId> bgs,
-                                       const DynamicPartitionerConfig &cfg)
-    : fg_(fg), bgs_(std::move(bgs)), cfg_(cfg), detector_(cfg.detector)
+void
+DynamicPartitionerConfig::validate() const
 {
-    capart_assert(cfg_.minFgWays >= 1);
-    capart_assert(cfg_.maxFgWays > cfg_.minFgWays);
+    if (minFgWays < 1) {
+        capart_panic("DynamicPartitionerConfig: minFgWays must be >= 1"
+                     " (got " << minFgWays << ")");
+    }
+    if (minFgWays > maxFgWays) {
+        capart_panic("DynamicPartitionerConfig: minFgWays ("
+                     << minFgWays << ") must not exceed maxFgWays ("
+                     << maxFgWays << ")");
+    }
+    if (maxFgWays <= minFgWays) {
+        capart_panic("DynamicPartitionerConfig: maxFgWays ("
+                     << maxFgWays << ") must exceed minFgWays ("
+                     << minFgWays << ") or the probe cannot move");
+    }
+    if (thr3 <= 0.0) {
+        capart_panic("DynamicPartitionerConfig: thr3 must be positive"
+                     " (got " << thr3 << ")");
+    }
+    if (detector.thr1 <= 0.0 || detector.thr2 <= 0.0) {
+        capart_panic("DynamicPartitionerConfig: detector thresholds "
+                     "thr1/thr2 must be positive (got "
+                     << detector.thr1 << "/" << detector.thr2 << ")");
+    }
+    if (minDenominator <= 0.0) {
+        capart_panic("DynamicPartitionerConfig: minDenominator must be "
+                     "positive (got " << minDenominator << ")");
+    }
+    if (mpkiSmoothing <= 0.0 || mpkiSmoothing > 1.0) {
+        capart_panic("DynamicPartitionerConfig: mpkiSmoothing must be "
+                     "in (0, 1] (got " << mpkiSmoothing << ")");
+    }
+    if (spikeRejectFactor <= 1.0) {
+        capart_panic("DynamicPartitionerConfig: spikeRejectFactor must "
+                     "exceed 1 (got " << spikeRejectFactor << ")");
+    }
+    if (spikeFloor < 0.0) {
+        capart_panic("DynamicPartitionerConfig: spikeFloor must be "
+                     "non-negative (got " << spikeFloor << ")");
+    }
+    if (watchdogThreshold < 1 || telemetryTimeoutWindows < 1 ||
+        recoveryWindows < 1) {
+        capart_panic("DynamicPartitionerConfig: watchdogThreshold, "
+                     "telemetryTimeoutWindows and recoveryWindows must "
+                     "all be >= 1");
+    }
+}
+
+DynamicPartitioner::DynamicPartitioner(AppId fg, std::vector<AppId> bgs,
+                                       const DynamicPartitionerConfig &cfg,
+                                       Remasker *remasker)
+    : fg_(fg), bgs_(std::move(bgs)), cfg_(cfg), detector_(cfg.detector),
+      remasker_(remasker ? remasker : &direct_)
+{
+    cfg_.validate();
     fgWays_ = cfg_.maxFgWays;
 }
 
-void
+bool
 DynamicPartitioner::apply(System &sys, unsigned fg_ways)
 {
     capart_assert(fg_ways >= cfg_.minFgWays &&
@@ -25,28 +76,231 @@ DynamicPartitioner::apply(System &sys, unsigned fg_ways)
     const unsigned total = sys.llcWays();
     capart_assert(fg_ways < total);
     const SplitMasks masks = splitWays(fg_ways, total);
-    sys.setWayMask(fg_, masks.fg);
-    for (const AppId bg : bgs_)
-        sys.setWayMask(bg, masks.bg);
+    ++remaskAttempts_;
+    if (!remasker_->apply(sys, fg_, bgs_, masks)) {
+        ++remaskFailures_;
+        return false;
+    }
     if (fg_ways != fgWays_ || !installed_)
         ++reallocations_;
     fgWays_ = fg_ways;
     installed_ = true;
+    return true;
+}
+
+void
+DynamicPartitioner::pushHealth(System &sys, HealthEventKind kind,
+                               unsigned count)
+{
+    health_.push_back(HealthEvent{sys.now(), kind, fgWays_, count});
+}
+
+void
+DynamicPartitioner::requestWays(System &sys, unsigned fg_ways)
+{
+    if (apply(sys, fg_ways)) {
+        if (consecRemaskFails_ > 0) {
+            pushHealth(sys, HealthEventKind::RemaskRecovered,
+                       consecRemaskFails_);
+        }
+        consecRemaskFails_ = 0;
+        remaskProbation_ = false;
+        retryPending_ = false;
+        retryCount_ = 0;
+        return;
+    }
+    ++consecRemaskFails_;
+    pushHealth(sys, HealthEventKind::RemaskFailed, consecRemaskFails_);
+    if (remaskProbation_ || consecRemaskFails_ >= cfg_.watchdogThreshold) {
+        enterFallback(sys, consecRemaskFails_, true);
+        return;
+    }
+    retryPending_ = true;
+    retryWays_ = fg_ways;
+    retryCount_ = 1;
+    retryWait_ = cfg_.retryBackoffWindows;
+}
+
+void
+DynamicPartitioner::serviceRetry(System &sys)
+{
+    if (retryWait_ > 0) {
+        --retryWait_;
+        return;
+    }
+    if (apply(sys, retryWays_)) {
+        pushHealth(sys, HealthEventKind::RemaskRecovered,
+                   consecRemaskFails_);
+        consecRemaskFails_ = 0;
+        remaskProbation_ = false;
+        retryPending_ = false;
+        retryCount_ = 0;
+        return;
+    }
+    ++consecRemaskFails_;
+    pushHealth(sys, HealthEventKind::RemaskFailed, consecRemaskFails_);
+    if (consecRemaskFails_ >= cfg_.watchdogThreshold) {
+        enterFallback(sys, consecRemaskFails_, true);
+        return;
+    }
+    ++retryCount_;
+    if (retryCount_ > cfg_.maxRemaskRetries) {
+        // Bounded retry exhausted: abandon this target and let the
+        // algorithm continue from the allocation actually installed.
+        retryPending_ = false;
+        retryCount_ = 0;
+        return;
+    }
+    // Exponential backoff: wait 1, 2, 4, ... windows between retries.
+    retryWait_ = cfg_.retryBackoffWindows << (retryCount_ - 1);
+}
+
+void
+DynamicPartitioner::enterFallback(System &sys, unsigned count,
+                                  bool remask_cause)
+{
+    if (mode_ == ControlMode::Fallback)
+        return;
+    mode_ = ControlMode::Fallback;
+    remaskCausedFallback_ = remask_cause;
+    const unsigned total = sys.llcWays();
+    const unsigned fair = total / 2;
+    // Last-resort safe path: bypass the (possibly failing) remasker and
+    // write the masks directly — the panic-MSR-write of this machine.
+    direct_.apply(sys, fg_, bgs_, splitWays(fair, total));
+    if (fair != fgWays_ || !installed_)
+        ++reallocations_;
+    fgWays_ = fair;
+    installed_ = true;
+    retryPending_ = false;
+    retryCount_ = 0;
+    consecRemaskFails_ = 0;
+    healthyStreak_ = 0;
+    phaseStarts_ = false;
+    pushHealth(sys, HealthEventKind::FallbackEntered, count);
+    capart_warn("dynamic partitioner: watchdog tripped after "
+                << count << " consecutive failures; falling back to "
+                "fair " << fair << "/" << (total - fair) << " split");
+}
+
+void
+DynamicPartitioner::resumeDynamic(System &sys)
+{
+    mode_ = ControlMode::Dynamic;
+    badTelemetry_ = 0;
+    healthyStreak_ = 0;
+    consecRemaskFails_ = 0;
+    haveSuspect_ = false;
+    haveSmoothed_ = false;
+    haveLast_ = false;
+    detector_.reset();
+    pushHealth(sys, HealthEventKind::DynamicResumed, 0);
+    // Re-probe from the top, as on a phase start (§6.3). If the
+    // fallback was remask-caused, this first write is a probe of the
+    // control plane: its failure re-trips the watchdog immediately.
+    remaskProbation_ = remaskCausedFallback_;
+    phaseStarts_ = true;
+    requestWays(sys, cfg_.maxFgWays);
+}
+
+DynamicPartitioner::Sample
+DynamicPartitioner::classify(const PerfWindow &w)
+{
+    // A window with no instructions *and* no misses is a legitimately
+    // idle interval (a quantum spanning the boundary): its MPKI of zero
+    // is real data. Misses without instructions, NaN, or negative MPKI
+    // can only come from a corrupted counter read.
+    if (!std::isfinite(w.mpki) || w.mpki < 0.0 ||
+        (w.insts == 0 && w.llcMisses != 0)) {
+        haveSuspect_ = false;
+        return Sample::Garbage;
+    }
+    if (haveSmoothed_) {
+        const double level = std::max(smoothed_, cfg_.spikeFloor);
+        if (w.mpki > cfg_.spikeRejectFactor * level) {
+            if (haveSuspect_) {
+                // Two outliers in a row: the application really moved.
+                haveSuspect_ = false;
+                return Sample::Valid;
+            }
+            // Quarantine a lone spike as a suspected counter glitch.
+            haveSuspect_ = true;
+            suspectMpki_ = w.mpki;
+            return Sample::Outlier;
+        }
+    }
+    haveSuspect_ = false;
+    return Sample::Valid;
 }
 
 void
 DynamicPartitioner::onWindow(System &sys, AppId app, const PerfWindow &w)
 {
-    if (app != fg_)
+    remasker_->tick(sys);
+
+    if (app != fg_) {
+        // The first background's windows are the silence clock: they
+        // keep arriving at the sampling period even when the
+        // foreground's telemetry is dead.
+        if (!bgs_.empty() && app == bgs_.front()) {
+            ++fgSilence_;
+            if (mode_ == ControlMode::Dynamic &&
+                fgSilence_ >= cfg_.telemetryTimeoutWindows)
+                enterFallback(sys, fgSilence_, false);
+        }
         return;
+    }
+    fgSilence_ = 0;
 
     // "When the foreground application starts or changes phase, the
     // framework gives the application as much cache as possible" (§6.3)
     // — application start counts as a phase start, so the controller
     // immediately begins probing downward.
-    if (!installed_) {
-        apply(sys, cfg_.maxFgWays);
+    if (!installed_ && !retryPending_ && mode_ == ControlMode::Dynamic) {
+        requestWays(sys, cfg_.maxFgWays);
         phaseStarts_ = true;
+    }
+
+    // Missing windows (dropped sampling deadlines) show up as holes in
+    // the delivered timeline.
+    const Seconds len = w.end - w.start;
+    if (haveFgWindow_ && len > 0.0 && w.start > lastFgEnd_ + 0.5 * len) {
+        const auto gap =
+            static_cast<unsigned>((w.start - lastFgEnd_) / len + 0.5);
+        badTelemetry_ += gap;
+        pushHealth(sys, HealthEventKind::WindowGap, gap);
+    }
+    haveFgWindow_ = true;
+    lastFgEnd_ = w.end;
+
+    const Sample verdict = classify(w);
+    if (verdict != Sample::Valid) {
+        ++rejectedSamples_;
+        ++badTelemetry_;
+        healthyStreak_ = 0;
+        pushHealth(sys, HealthEventKind::SampleRejected, badTelemetry_);
+        if (mode_ == ControlMode::Dynamic &&
+            badTelemetry_ >= cfg_.watchdogThreshold)
+            enterFallback(sys, badTelemetry_, false);
+        history_.push_back(AllocationEvent{w.end, fgWays_, smoothed_,
+                                           PhaseEvent::Stable});
+        return;
+    }
+    if (mode_ == ControlMode::Dynamic &&
+        badTelemetry_ >= cfg_.watchdogThreshold) {
+        // A gap alone (without an invalid sample) can trip the watchdog.
+        enterFallback(sys, badTelemetry_, false);
+    }
+    badTelemetry_ = 0;
+
+    if (mode_ == ControlMode::Fallback) {
+        // Hold the safe partition until the signal proves stable again.
+        ++healthyStreak_;
+        if (healthyStreak_ >= cfg_.recoveryWindows)
+            resumeDynamic(sys);
+        history_.push_back(AllocationEvent{w.end, fgWays_, w.mpki,
+                                           PhaseEvent::Stable});
+        return;
     }
 
     // Smooth the windowed MPKI: scaled-down runs have real sampling
@@ -61,11 +315,15 @@ DynamicPartitioner::onWindow(System &sys, AppId app, const PerfWindow &w)
 
     const PhaseEvent ev = detector_.step(mpki);
 
-    if (ev == PhaseEvent::NewPhase) {
+    if (retryPending_) {
+        // A mask application is in flight: retry it on schedule and do
+        // not take new decisions on state that never landed.
+        serviceRetry(sys);
+    } else if (ev == PhaseEvent::NewPhase) {
         // A new phase begins: give the foreground everything we can,
         // then probe downward from there (Algorithm 6.2).
         phaseStarts_ = true;
-        apply(sys, cfg_.maxFgWays);
+        requestWays(sys, cfg_.maxFgWays);
     } else if (ev == PhaseEvent::Stable && phaseStarts_) {
         // The shrink probe compares *raw* successive windows: the
         // reaction to a one-way shrink must not be averaged away.
@@ -77,14 +335,14 @@ DynamicPartitioner::onWindow(System &sys, AppId app, const PerfWindow &w)
             // Shrinking did not hurt: release another way to the
             // background, until the floor.
             if (fgWays_ > cfg_.minFgWays)
-                apply(sys, fgWays_ - 1);
+                requestWays(sys, fgWays_ - 1);
             else
                 phaseStarts_ = false;
         } else {
             // The last shrink showed up in the MPKI: give the way
             // back and settle at the previous allocation.
             if (fgWays_ < cfg_.maxFgWays)
-                apply(sys, fgWays_ + 1);
+                requestWays(sys, fgWays_ + 1);
             phaseStarts_ = false;
         }
     }

@@ -11,6 +11,20 @@
  * every way the foreground releases immediately becomes background
  * capacity. Remasking never flushes data (§2.1), which keeps
  * reallocation cheap — exactly the property the hardware provides.
+ *
+ * Beyond the paper, the controller is hardened for production
+ * telemetry and control planes that are allowed to fail (see
+ * DESIGN.md, "Fault model & graceful degradation"):
+ *
+ *  - windows are validity-checked (NaN/negative/inconsistent samples and
+ *    one-window outlier spikes are rejected; two consecutive outliers
+ *    confirm a genuine shift and pass through);
+ *  - mask applications go through a @ref Remasker and are retried with
+ *    bounded exponential backoff when they fail transiently;
+ *  - a watchdog falls back to the safe fair static partition after K
+ *    consecutive telemetry or remask failures (or prolonged telemetry
+ *    silence), and resumes dynamic control once signals stabilize;
+ *  - every degradation decision lands in a structured health log.
  */
 
 #ifndef CAPART_CORE_DYNAMIC_PARTITIONER_HH
@@ -19,7 +33,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/health.hh"
 #include "core/phase_detector.hh"
+#include "core/remasker.hh"
 #include "sim/system.hh"
 
 namespace capart
@@ -48,6 +64,35 @@ struct DynamicPartitionerConfig
     unsigned minFgWays = 2;
     /** Largest foreground allocation (11 ways: background keeps one). */
     unsigned maxFgWays = 11;
+
+    // ---- graceful degradation under faulty telemetry/control --------
+    /**
+     * A window whose MPKI exceeds this multiple of the smoothed level
+     * is quarantined as a suspected counter glitch; a second
+     * consecutive outlier confirms a genuine phase shift and passes.
+     */
+    double spikeRejectFactor = 8.0;
+    /** Absolute MPKI floor under the spike test (ignore tiny levels). */
+    double spikeFloor = 2.5;
+    /** Retries per remask decision before it is abandoned. */
+    unsigned maxRemaskRetries = 3;
+    /** Windows before the first retry; doubles on each further retry. */
+    unsigned retryBackoffWindows = 1;
+    /**
+     * Consecutive telemetry rejections — or consecutive failed remask
+     * attempts — that trip the watchdog into the fair fallback.
+     */
+    unsigned watchdogThreshold = 4;
+    /**
+     * Background windows without any foreground telemetry before the
+     * watchdog declares the foreground's monitoring dead.
+     */
+    unsigned telemetryTimeoutWindows = 8;
+    /** Consecutive healthy windows needed to resume dynamic mode. */
+    unsigned recoveryWindows = 3;
+
+    /** Panics with a precise message on an impossible configuration. */
+    void validate() const;
 };
 
 /** One reallocation decision, kept for Fig. 12-style traces. */
@@ -64,12 +109,16 @@ class DynamicPartitioner : public PartitionController
 {
   public:
     /**
-     * @param fg   the latency-sensitive foreground application.
-     * @param bgs  background peers; they share the complement partition.
+     * @param fg       the latency-sensitive foreground application.
+     * @param bgs      background peers sharing the complement partition.
+     * @param cfg      algorithm tunables (validated at construction).
+     * @param remasker mask-application path; nullptr = the infallible
+     *                 direct path (the paper's prototype semantics).
      */
     DynamicPartitioner(
         AppId fg, std::vector<AppId> bgs,
-        const DynamicPartitionerConfig &cfg = DynamicPartitionerConfig{});
+        const DynamicPartitionerConfig &cfg = DynamicPartitionerConfig{},
+        Remasker *remasker = nullptr);
 
     void onWindow(System &sys, AppId app, const PerfWindow &w) override;
 
@@ -78,13 +127,37 @@ class DynamicPartitioner : public PartitionController
     std::uint64_t reallocations() const { return reallocations_; }
     const std::vector<AllocationEvent> &history() const { return history_; }
 
+    // ---------------- health and degradation introspection -----------
+    ControlMode mode() const { return mode_; }
+    const std::vector<HealthEvent> &healthLog() const { return health_; }
+    /** Telemetry windows rejected by validity checks. */
+    std::uint64_t rejectedSamples() const { return rejectedSamples_; }
+    /** Mask applications attempted / failed (including retries). */
+    std::uint64_t remaskAttempts() const { return remaskAttempts_; }
+    std::uint64_t remaskFailures() const { return remaskFailures_; }
+
   private:
-    void apply(System &sys, unsigned fg_ways);
+    bool apply(System &sys, unsigned fg_ways);
+    void requestWays(System &sys, unsigned fg_ways);
+    void serviceRetry(System &sys);
+    void enterFallback(System &sys, unsigned count, bool remask_cause);
+    void resumeDynamic(System &sys);
+    void pushHealth(System &sys, HealthEventKind kind, unsigned count);
+    /** Validity verdicts for one foreground window. */
+    enum class Sample
+    {
+        Valid,
+        Garbage, //!< NaN / negative / counter-inconsistent window
+        Outlier  //!< suspected one-window counter spike
+    };
+    Sample classify(const PerfWindow &w);
 
     AppId fg_;
     std::vector<AppId> bgs_;
     DynamicPartitionerConfig cfg_;
     PhaseDetector detector_;
+    DirectRemasker direct_;
+    Remasker *remasker_;
 
     bool installed_ = false;
     bool phaseStarts_ = false;
@@ -95,6 +168,34 @@ class DynamicPartitioner : public PartitionController
     unsigned fgWays_ = 0;
     std::uint64_t reallocations_ = 0;
     std::vector<AllocationEvent> history_;
+
+    // ---------------- degradation state -------------------------------
+    ControlMode mode_ = ControlMode::Dynamic;
+    std::vector<HealthEvent> health_;
+    unsigned badTelemetry_ = 0;   //!< consecutive rejected FG windows
+    unsigned fgSilence_ = 0;      //!< BG windows since last FG window
+    unsigned consecRemaskFails_ = 0;
+    unsigned healthyStreak_ = 0;  //!< valid FG windows while in fallback
+    /** The last fallback was caused by remask failures (not telemetry). */
+    bool remaskCausedFallback_ = false;
+    /**
+     * Dynamic control just resumed from a remask-caused fallback: the
+     * first write is a probe, and its failure re-trips the watchdog
+     * immediately (healthy telemetry says nothing about a control plane
+     * that was recently broken).
+     */
+    bool remaskProbation_ = false;
+    bool haveSuspect_ = false;
+    double suspectMpki_ = 0.0;
+    bool haveFgWindow_ = false;
+    Seconds lastFgEnd_ = 0.0;
+    bool retryPending_ = false;
+    unsigned retryWays_ = 0;
+    unsigned retryCount_ = 0;
+    unsigned retryWait_ = 0;
+    std::uint64_t rejectedSamples_ = 0;
+    std::uint64_t remaskAttempts_ = 0;
+    std::uint64_t remaskFailures_ = 0;
 };
 
 } // namespace capart

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The mask-application seam between partitioning policy and mechanism.
+ *
+ * The paper's prototype writes way masks through a custom BIOS that
+ * never fails; production mechanisms (Intel CAT via resctrl) can fail
+ * transiently or apply late. @ref Remasker abstracts "install this
+ * FG/BG split" so controllers can be written against a fallible,
+ * retryable operation: @ref DirectRemasker preserves the prototype's
+ * infallible semantics, while src/fault and src/rctl provide fallible
+ * implementations (fault-injected and resctrl-backed).
+ */
+
+#ifndef CAPART_CORE_REMASKER_HH
+#define CAPART_CORE_REMASKER_HH
+
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+namespace capart
+{
+
+/** Applies a foreground/background way split to the machine. */
+class Remasker
+{
+  public:
+    virtual ~Remasker() = default;
+
+    /**
+     * Install @p masks for @p fg and every app in @p bgs.
+     * @return false on a transient failure; the caller may retry.
+     */
+    virtual bool apply(System &sys, AppId fg,
+                       const std::vector<AppId> &bgs,
+                       const SplitMasks &masks) = 0;
+
+    /**
+     * Called once per delivered perf window; implementations with
+     * delayed application use it as their clock.
+     */
+    virtual void
+    tick(System &sys)
+    {
+        (void)sys;
+    }
+};
+
+/** The prototype's infallible path: direct way-mask writes. */
+class DirectRemasker final : public Remasker
+{
+  public:
+    bool
+    apply(System &sys, AppId fg, const std::vector<AppId> &bgs,
+          const SplitMasks &masks) override
+    {
+        sys.setWayMask(fg, masks.fg);
+        for (const AppId bg : bgs)
+            sys.setWayMask(bg, masks.bg);
+        return true;
+    }
+};
+
+} // namespace capart
+
+#endif // CAPART_CORE_REMASKER_HH

@@ -1,0 +1,218 @@
+#include "fault/fault_injector.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace capart
+{
+
+namespace
+{
+
+/** Salt per decision kind so streams never correlate. */
+enum Kind : std::uint64_t
+{
+    kDrop = 1,
+    kCorrupt,
+    kNaN,
+    kStale,
+    kRemaskFail,
+    kRemaskDelay,
+    kSchemata,
+    kApply,
+    kStall
+};
+
+/** splitmix64 finalizer — decorrelates nearby inputs. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan &plan, std::uint64_t seed)
+    : plan_(plan), seed_(seed)
+{
+    capart_assert(plan.spikeMultiplier > 1.0);
+    capart_assert(plan.stallFactor >= 1.0);
+}
+
+double
+FaultInjector::unit(std::uint64_t kind, std::uint64_t a,
+                    std::uint64_t b) const
+{
+    // Three mixing rounds over (seed, kind, a, b): a pure function of
+    // the decision's identity, independent of call order.
+    const std::uint64_t h = mix(mix(mix(seed_ ^ (kind * 0xd6e8feb8ULL)) ^
+                                    a * 0x2545f4914f6cdd1dULL) ^
+                                b);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void
+FaultInjector::attach(System &sys)
+{
+    for (AppId a = 0; a < sys.numApps(); ++a)
+        sys.setWindowFaultHook(a, this);
+    sys.setSliceFaultHook(this);
+}
+
+bool
+FaultInjector::onWindowClose(std::uint64_t stream, std::uint64_t index,
+                             PerfWindow &w)
+{
+    if (stream != plan_.telemetryTarget)
+        return true;
+    if (plan_.blackoutLen > 0 && index >= plan_.blackoutStart &&
+        index - plan_.blackoutStart < plan_.blackoutLen) {
+        ++stats_.windowsDropped;
+        return false;
+    }
+    // At most one fault per window; independent draws, first hit wins.
+    if (plan_.windowDropRate > 0.0 &&
+        unit(kDrop, stream, index) < plan_.windowDropRate) {
+        ++stats_.windowsDropped;
+        return false;
+    }
+    if (plan_.nanRate > 0.0 &&
+        unit(kNaN, stream, index) < plan_.nanRate) {
+        w.mpki = std::numeric_limits<double>::quiet_NaN();
+        ++stats_.windowsNaN;
+        return true;
+    }
+    if (plan_.counterCorruptRate > 0.0 &&
+        unit(kCorrupt, stream, index) < plan_.counterCorruptRate) {
+        // A glitched miss counter: misses (and the derived MPKI) spike
+        // while instructions stay plausible.
+        w.llcMisses = static_cast<std::uint64_t>(
+            static_cast<double>(w.llcMisses) * plan_.spikeMultiplier);
+        w.mpki *= plan_.spikeMultiplier;
+        ++stats_.windowsCorrupted;
+        return true;
+    }
+    if (plan_.staleRate > 0.0 &&
+        unit(kStale, stream, index) < plan_.staleRate) {
+        const auto it = lastDelivered_.find(stream);
+        if (it != lastDelivered_.end()) {
+            // Serve yesterday's counters under today's timestamps. The
+            // remembered window stays put, so a run of stale reads
+            // repeats the same value.
+            const PerfWindow &prev = it->second;
+            w.insts = prev.insts;
+            w.llcAccesses = prev.llcAccesses;
+            w.llcMisses = prev.llcMisses;
+            w.mpki = prev.mpki;
+            w.apki = prev.apki;
+            ++stats_.windowsStale;
+            return true;
+        }
+        // Nothing cached yet: the real window goes through (and below
+        // becomes the value future stale reads repeat).
+    }
+    lastDelivered_[stream] = w;
+    return true;
+}
+
+double
+FaultInjector::quantumStallFactor(AppId app, std::uint64_t slice)
+{
+    if (plan_.stallRate <= 0.0)
+        return 1.0;
+    if (unit(kStall, app, slice) < plan_.stallRate) {
+        ++stats_.stalls;
+        return plan_.stallFactor;
+    }
+    return 1.0;
+}
+
+RctlStatus
+FaultInjector::onSchemataWrite(const std::string &group)
+{
+    (void)group;
+    const std::uint64_t call = schemataCalls_++;
+    if (plan_.remaskFailRate > 0.0 &&
+        unit(kSchemata, call, 0) < plan_.remaskFailRate) {
+        ++stats_.schemataFails;
+        return RctlStatus::IoError;
+    }
+    return RctlStatus::Ok;
+}
+
+bool
+FaultInjector::onApplyMask(const std::string &group, AppId app)
+{
+    (void)group;
+    const std::uint64_t call = applyCalls_++;
+    if (plan_.remaskFailRate > 0.0 &&
+        unit(kApply, call, app) < plan_.remaskFailRate) {
+        ++stats_.applyFails;
+        return false;
+    }
+    return true;
+}
+
+bool
+FaultInjector::remaskShouldFail()
+{
+    const std::uint64_t call = remaskCalls_++;
+    if (plan_.remaskFailRate > 0.0 &&
+        unit(kRemaskFail, call, 0) < plan_.remaskFailRate) {
+        ++stats_.remaskFails;
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::remaskShouldDelay()
+{
+    const std::uint64_t call = remaskCalls_++;
+    if (plan_.remaskDelayRate > 0.0 &&
+        unit(kRemaskDelay, call, 0) < plan_.remaskDelayRate) {
+        ++stats_.remaskDelays;
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultyRemasker::apply(System &sys, AppId fg,
+                      const std::vector<AppId> &bgs,
+                      const SplitMasks &masks)
+{
+    if (inj_->remaskShouldFail())
+        return false;
+    if (inj_->remaskShouldDelay()) {
+        // Reported applied, but the masks land only after the
+        // propagation delay (a newer write supersedes an older one).
+        pending_ = true;
+        wait_ = inj_->plan().remaskDelayWindows;
+        pendingFg_ = fg;
+        pendingBgs_ = bgs;
+        pendingMasks_ = masks;
+        return true;
+    }
+    pending_ = false; // an immediate write supersedes any delayed one
+    return direct_.apply(sys, fg, bgs, masks);
+}
+
+void
+FaultyRemasker::tick(System &sys)
+{
+    if (!pending_)
+        return;
+    if (wait_ > 0) {
+        --wait_;
+        return;
+    }
+    direct_.apply(sys, pendingFg_, pendingBgs_, pendingMasks_);
+    pending_ = false;
+}
+
+} // namespace capart

@@ -1,0 +1,41 @@
+#include "fault/resctrl_remasker.hh"
+
+namespace capart
+{
+
+ResctrlRemasker::ResctrlRemasker(ResctrlFs &fs, std::string fg_group,
+                                 std::string bg_group)
+    : fs_(&fs), fgGroup_(std::move(fg_group)), bgGroup_(std::move(bg_group))
+{
+}
+
+bool
+ResctrlRemasker::apply(System &sys, AppId fg,
+                       const std::vector<AppId> &bgs,
+                       const SplitMasks &masks)
+{
+    (void)sys;
+    (void)fg;
+    (void)bgs; // membership is owned by the control groups
+    // One attempt per group per apply; the controller owns retry and
+    // backoff policy. If the FG write lands and the BG write fails, the
+    // whole apply reports failure — on retry the FG write is an
+    // idempotent no-op and only the BG write touches hardware.
+    ++writes_;
+    if (fs_->writeSchemataWithRetry(fgGroup_,
+                                    ResctrlFs::formatSchemata(masks.fg),
+                                    1) != RctlStatus::Ok) {
+        ++failures_;
+        return false;
+    }
+    ++writes_;
+    if (fs_->writeSchemataWithRetry(bgGroup_,
+                                    ResctrlFs::formatSchemata(masks.bg),
+                                    1) != RctlStatus::Ok) {
+        ++failures_;
+        return false;
+    }
+    return true;
+}
+
+} // namespace capart

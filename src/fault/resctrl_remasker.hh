@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A @ref Remasker that drives the resctrl-style control plane instead
+ * of writing way masks directly — the path a production daemon takes
+ * (echo "L3:0=..." > group/schemata). Failures of the underlying
+ * schemata writes (including injected ones) surface to the controller
+ * as retryable remask failures; the idempotent no-op fast path of
+ * @ref ResctrlFs::writeSchemata makes partial-success retries cheap.
+ */
+
+#ifndef CAPART_FAULT_RESCTRL_REMASKER_HH
+#define CAPART_FAULT_RESCTRL_REMASKER_HH
+
+#include <string>
+
+#include "core/remasker.hh"
+#include "rctl/resctrl.hh"
+
+namespace capart
+{
+
+/** Applies FG/BG splits through two resctrl control groups. */
+class ResctrlRemasker final : public Remasker
+{
+  public:
+    /**
+     * @param fs        the control plane (not owned).
+     * @param fg_group  group holding the foreground.
+     * @param bg_group  group holding the background(s).
+     */
+    ResctrlRemasker(ResctrlFs &fs, std::string fg_group,
+                    std::string bg_group);
+
+    bool apply(System &sys, AppId fg, const std::vector<AppId> &bgs,
+               const SplitMasks &masks) override;
+
+    /** Schemata writes attempted / failed through this remasker. */
+    std::uint64_t writes() const { return writes_; }
+    std::uint64_t writeFailures() const { return failures_; }
+
+  private:
+    ResctrlFs *fs_;
+    std::string fgGroup_;
+    std::string bgGroup_;
+    std::uint64_t writes_ = 0;
+    std::uint64_t failures_ = 0;
+};
+
+} // namespace capart
+
+#endif // CAPART_FAULT_RESCTRL_REMASKER_HH

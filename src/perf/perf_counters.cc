@@ -89,11 +89,18 @@ PerfMonitor::closeWindow(Seconds boundary)
         w.apki = 1000.0 * static_cast<double>(acc_) /
                  static_cast<double>(insts_);
     }
-    windows_.push_back(w);
+    // The window index counts every closed window (delivered or not) so
+    // fault decisions stay deterministic regardless of earlier drops.
+    const std::uint64_t index = closed_++;
     windowStart_ = boundary;
     insts_ = 0;
     acc_ = 0;
     miss_ = 0;
+    if (hook_ && !hook_->onWindowClose(stream_, index, w)) {
+        ++dropped_;
+        return;
+    }
+    windows_.push_back(w);
 }
 
 } // namespace capart

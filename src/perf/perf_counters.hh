@@ -80,6 +80,26 @@ struct PerfWindow
 };
 
 /**
+ * Interposition point on window delivery, used by the fault-injection
+ * framework (src/fault) to model the telemetry failures commodity
+ * monitoring suffers: dropped sampling deadlines, corrupted counter
+ * reads, and stale values.
+ */
+class WindowFaultHook
+{
+  public:
+    virtual ~WindowFaultHook() = default;
+
+    /**
+     * Called as window @p index of stream @p stream closes, before the
+     * window is published. The hook may mutate @p w (corrupt or stale
+     * counters) or return false to drop the window entirely.
+     */
+    virtual bool onWindowClose(std::uint64_t stream, std::uint64_t index,
+                               PerfWindow &w) = 0;
+};
+
+/**
  * Samples one application's counters at a fixed simulated-time period
  * and produces completed @ref PerfWindow records, mirroring the 100 ms
  * monitoring loop of the paper's software framework. The period is
@@ -102,6 +122,21 @@ class PerfMonitor
 
     Seconds windowLength() const { return windowLength_; }
 
+    /**
+     * Install a (non-owned) fault hook consulted as windows close.
+     * @p stream tags this monitor in the hook's callbacks (callers use
+     * the monitored application's id).
+     */
+    void
+    setFaultHook(WindowFaultHook *hook, std::uint64_t stream)
+    {
+        hook_ = hook;
+        stream_ = stream;
+    }
+
+    /** Windows suppressed by the fault hook (dropped deadlines). */
+    std::uint64_t droppedWindows() const { return dropped_; }
+
   private:
     void closeWindow(Seconds boundary);
 
@@ -111,6 +146,10 @@ class PerfMonitor
     std::uint64_t acc_ = 0;
     std::uint64_t miss_ = 0;
     std::vector<PerfWindow> windows_;
+    WindowFaultHook *hook_ = nullptr;
+    std::uint64_t stream_ = 0;
+    std::uint64_t closed_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 } // namespace capart

@@ -25,6 +25,10 @@ rctlStatusName(RctlStatus s)
         return "invalid-mask";
       case RctlStatus::NoSpace:
         return "no-space";
+      case RctlStatus::ParseError:
+        return "parse-error";
+      case RctlStatus::IoError:
+        return "io-error";
     }
     capart_panic("unknown rctl status");
 }
@@ -104,6 +108,16 @@ ResctrlFs::maskAllowed(WayMask mask, unsigned total_ways,
 std::optional<WayMask>
 ResctrlFs::parseSchemata(const std::string &text, unsigned total_ways)
 {
+    WayMask mask;
+    if (parseSchemataStatus(text, total_ways, mask) != RctlStatus::Ok)
+        return std::nullopt;
+    return mask;
+}
+
+RctlStatus
+ResctrlFs::parseSchemataStatus(const std::string &text, unsigned total_ways,
+                               WayMask &out)
+{
     // Accept "L3:0=<hex>" with optional surrounding whitespace.
     std::string s;
     for (const char c : text) {
@@ -112,10 +126,10 @@ ResctrlFs::parseSchemata(const std::string &text, unsigned total_ways)
     }
     const std::string prefix = "L3:0=";
     if (s.rfind(prefix, 0) != 0)
-        return std::nullopt;
+        return RctlStatus::ParseError;
     const std::string hex = s.substr(prefix.size());
     if (hex.empty() || hex.size() > 8)
-        return std::nullopt;
+        return RctlStatus::ParseError;
     std::uint32_t bits = 0;
     for (const char c : hex) {
         bits <<= 4;
@@ -126,12 +140,15 @@ ResctrlFs::parseSchemata(const std::string &text, unsigned total_ways)
         else if (c >= 'A' && c <= 'F')
             bits |= static_cast<std::uint32_t>(c - 'A' + 10);
         else
-            return std::nullopt;
+            return RctlStatus::ParseError;
     }
     const WayMask mask{bits};
-    if ((mask & WayMask::all(total_ways)) != mask)
-        return std::nullopt;
-    return mask;
+    // An empty mask or bits beyond the cache's ways are syntactically
+    // fine but name an allocation the hardware cannot hold.
+    if (mask.empty() || (mask & WayMask::all(total_ways)) != mask)
+        return RctlStatus::InvalidMask;
+    out = mask;
+    return RctlStatus::Ok;
 }
 
 std::string
@@ -149,13 +166,55 @@ ResctrlFs::writeSchemata(const std::string &name,
     Group *g = find(name);
     if (!g)
         return RctlStatus::NotFound;
-    const std::optional<WayMask> mask =
-        parseSchemata(schemata, sys_->llcWays());
-    if (!mask || !maskAllowed(*mask, sys_->llcWays(), cat_))
+    WayMask mask;
+    const RctlStatus parsed =
+        parseSchemataStatus(schemata, sys_->llcWays(), mask);
+    if (parsed != RctlStatus::Ok)
+        return parsed;
+    if (!maskAllowed(mask, sys_->llcWays(), cat_))
         return RctlStatus::InvalidMask;
-    g->mask = *mask;
-    applyMask(*g);
+
+    // Idempotent fast path: rewriting the installed mask touches no
+    // hardware state and cannot fail — what makes retries safe.
+    if (g->mask == mask)
+        return RctlStatus::Ok;
+
+    if (hook_) {
+        const RctlStatus forced = hook_->onSchemataWrite(name);
+        if (forced != RctlStatus::Ok)
+            return forced;
+    }
+
+    // Transactional commit: remask every member or roll back the ones
+    // already moved, leaving the group's schemata untouched.
+    const WayMask old = g->mask;
+    std::vector<AppId> moved;
+    for (const AppId app : g->members) {
+        if (hook_ && !hook_->onApplyMask(name, app)) {
+            for (const AppId done : moved)
+                sys_->setWayMask(done, old);
+            return RctlStatus::IoError;
+        }
+        sys_->setWayMask(app, mask);
+        moved.push_back(app);
+    }
+    g->mask = mask;
     return RctlStatus::Ok;
+}
+
+RctlStatus
+ResctrlFs::writeSchemataWithRetry(const std::string &name,
+                                  const std::string &schemata,
+                                  unsigned max_attempts)
+{
+    capart_assert(max_attempts >= 1);
+    RctlStatus s = RctlStatus::IoError;
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        s = writeSchemata(name, schemata);
+        if (s != RctlStatus::IoError)
+            return s; // success or a permanent (non-retryable) error
+    }
+    return s;
 }
 
 std::optional<std::string>

@@ -40,10 +40,35 @@ enum class RctlStatus
     NotFound,    //!< no such group / app
     Busy,        //!< group still has member tasks
     InvalidMask, //!< violates CAT mask rules
-    NoSpace      //!< out of CLOS (hardware class-of-service) slots
+    NoSpace,     //!< out of CLOS (hardware class-of-service) slots
+    ParseError,  //!< malformed schemata text (EINVAL on write)
+    IoError      //!< transient I/O failure; safe to retry (EIO)
 };
 
 const char *rctlStatusName(RctlStatus s);
+
+/**
+ * Interposition point on control-plane writes, used by the
+ * fault-injection framework (src/fault) to model the transient resctrl
+ * failures commodity deployments see (busy MSRs, racing writers).
+ */
+class RctlFaultHook
+{
+  public:
+    virtual ~RctlFaultHook() = default;
+
+    /**
+     * Consulted once per schemata write that would change state;
+     * returning anything but Ok fails the write before any mask moves.
+     */
+    virtual RctlStatus onSchemataWrite(const std::string &group) = 0;
+
+    /**
+     * Consulted per member remask while a schemata write commits;
+     * false models a transient per-task failure (the write rolls back).
+     */
+    virtual bool onApplyMask(const std::string &group, AppId app) = 0;
+};
 
 /** Hardware-style constraints on allowed masks (Intel CAT rules). */
 struct CatConstraints
@@ -72,9 +97,26 @@ class ResctrlFs
     /** Remove an empty control group (rmdir). */
     RctlStatus removeGroup(const std::string &name);
 
-    /** Write a schemata line ("L3:0=ff0") into a group. */
+    /**
+     * Write a schemata line ("L3:0=ff0") into a group.
+     *
+     * The write is transactional: every member is remasked or none is.
+     * If a member remask fails mid-commit (transient fault), members
+     * already moved are rolled back to the previous mask and the call
+     * returns IoError with the group's schemata unchanged. Rewriting
+     * the current mask is an idempotent no-op that always succeeds.
+     */
     RctlStatus writeSchemata(const std::string &name,
                              const std::string &schemata);
+
+    /**
+     * writeSchemata with bounded retry: transient IoError failures are
+     * retried up to @p max_attempts total attempts. Idempotent — safe
+     * to call again after a reported failure.
+     */
+    RctlStatus writeSchemataWithRetry(const std::string &name,
+                                      const std::string &schemata,
+                                      unsigned max_attempts);
 
     /** Current schemata line of a group. */
     std::optional<std::string> readSchemata(const std::string &name) const;
@@ -100,6 +142,16 @@ class ResctrlFs
     static std::optional<WayMask> parseSchemata(const std::string &text,
                                                 unsigned total_ways);
 
+    /**
+     * Parse "L3:0=ff0" with a precise error: ParseError for malformed
+     * text (missing "L3:0=" prefix, empty/overlong/non-hex digits),
+     * InvalidMask for a well-formed mask the cache cannot hold (empty
+     * mask or bits beyond @p total_ways). @p out is set only on Ok.
+     */
+    static RctlStatus parseSchemataStatus(const std::string &text,
+                                          unsigned total_ways,
+                                          WayMask &out);
+
     /** Format a mask as "L3:0=<hex>". */
     static std::string formatSchemata(WayMask mask);
 
@@ -109,6 +161,9 @@ class ResctrlFs
 
     /** Name of the always-present default group. */
     static constexpr const char *kDefaultGroup = "";
+
+    /** Install a (non-owned) fault hook on control-plane writes. */
+    void setFaultHook(RctlFaultHook *hook) { hook_ = hook; }
 
   private:
     struct Group
@@ -124,6 +179,7 @@ class ResctrlFs
     System *sys_;
     CatConstraints cat_;
     std::map<std::string, Group> groups_;
+    RctlFaultHook *hook_ = nullptr;
 };
 
 } // namespace capart

@@ -61,6 +61,8 @@ runPair(const AppParams &fg, const AppParams &bg, const PairOptions &opts)
         sys.setWayMask(bg_id, opts.bgMask);
     if (opts.controller)
         sys.setController(opts.controller);
+    if (opts.prepare)
+        opts.prepare(sys, fg_id, bg_id);
 
     const RunResult run = sys.run();
     PairResult res;

@@ -10,6 +10,7 @@
 #define CAPART_SIM_EXPERIMENT_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "mem/way_mask.hh"
 #include "sim/run_result.hh"
@@ -60,6 +61,12 @@ struct PairOptions
     SystemConfig system{};
     /** Optional controller driving dynamic repartitioning. */
     PartitionController *controller = nullptr;
+    /**
+     * Called after both apps are added and masks/controller installed,
+     * immediately before run() — the place to attach fault injectors or
+     * extra monitoring to the freshly built System.
+     */
+    std::function<void(System &sys, AppId fg, AppId bg)> prepare;
 };
 
 /** Outcome of a co-run. */

@@ -107,6 +107,13 @@ System::wayMask(AppId app) const
 }
 
 void
+System::setWindowFaultHook(AppId app, WindowFaultHook *hook)
+{
+    capart_assert(app < apps_.size());
+    apps_[app].perf->setFaultHook(hook, app);
+}
+
+void
 System::setPrefetchConfig(const PrefetchConfig &cfg)
 {
     for (auto &bank : prefetchers_)
@@ -296,6 +303,16 @@ System::stepHt(HwThreadId ht)
     const Cycles model_cycles = timing_.quantumCycles(
         q, a.params.baseIpc, wl.effectiveMlp(progress), peer, latencies_);
     Cycles cycles = model_cycles;
+    if (sliceFaults_) {
+        // An injected stall stretches the quantum: the thread holds the
+        // core without retiring faster, like a page fault or an SMI.
+        const double stall =
+            sliceFaults_->quantumStallFactor(h.app, h.slices);
+        if (stall > 1.0)
+            cycles = static_cast<Cycles>(static_cast<double>(cycles) *
+                                         stall);
+    }
+    ++h.slices;
     if (quantum_bytes) {
         // A quantum cannot move data faster than the DRAM bandwidth its
         // flow can claim; prefetch-covered streams are bound here.

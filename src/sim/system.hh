@@ -49,6 +49,23 @@ class PartitionController
     virtual void onWindow(System &sys, AppId app, const PerfWindow &w) = 0;
 };
 
+/**
+ * Interposition point on quantum execution, used by the fault-injection
+ * framework (src/fault) to model transient application stalls (page
+ * faults, interference from outside the co-schedule, SMM excursions).
+ */
+class SliceFaultHook
+{
+  public:
+    virtual ~SliceFaultHook() = default;
+
+    /**
+     * Cost multiplier (>= 1) for slice @p slice of @p app's next
+     * execution quantum; 1 means no fault.
+     */
+    virtual double quantumStallFactor(AppId app, std::uint64_t slice) = 0;
+};
+
 /** The simulated machine. */
 class System
 {
@@ -86,6 +103,12 @@ class System
 
     /** Install a (non-owned) partition controller. */
     void setController(PartitionController *ctrl) { controller_ = ctrl; }
+
+    /** Install a (non-owned) quantum-stall fault hook. */
+    void setSliceFaultHook(SliceFaultHook *hook) { sliceFaults_ = hook; }
+
+    /** Install a (non-owned) telemetry fault hook on @p app's monitor. */
+    void setWindowFaultHook(AppId app, WindowFaultHook *hook);
 
     /** Reconfigure every core's prefetchers (MSR write analogue). */
     void setPrefetchConfig(const PrefetchConfig &cfg);
@@ -137,6 +160,7 @@ class System
         std::unique_ptr<ThreadWorkload> workload;
         Seconds localTime = 0.0;
         bool idle = true;
+        std::uint64_t slices = 0; //!< quanta executed (fault-hook index)
     };
 
     /** Run one quantum on hyperthread @p ht. */
@@ -164,6 +188,7 @@ class System
     std::vector<AppState> apps_;
     std::vector<HtState> hts_;
     PartitionController *controller_ = nullptr;
+    SliceFaultHook *sliceFaults_ = nullptr;
 
     Seconds now_ = 0.0;
     bool ran_ = false;

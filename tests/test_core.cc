@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "core/co_scheduler.hh"
 #include "core/dynamic_partitioner.hh"
@@ -254,6 +255,221 @@ TEST(DynamicPartitioner, HistoryRecordsMpkiTrace)
     }
     // mcf has phases: the detector must fire at least once.
     EXPECT_GE(ctrl.detector().phaseChanges(), 1u);
+}
+
+// -------------------------------- hardening: validation and watchdog --
+
+TEST(DynamicPartitionerConfig, RejectsImpossibleConfigurations)
+{
+    const auto make = [](const DynamicPartitionerConfig &cfg) {
+        DynamicPartitioner ctrl(0, {1}, cfg);
+        (void)ctrl;
+    };
+    DynamicPartitionerConfig cfg;
+    cfg.minFgWays = 0;
+    EXPECT_DEATH(make(cfg), "minFgWays must be >= 1");
+    cfg = {};
+    cfg.minFgWays = 8;
+    cfg.maxFgWays = 4;
+    EXPECT_DEATH(make(cfg), "must not exceed maxFgWays");
+    cfg = {};
+    cfg.thr3 = 0.0;
+    EXPECT_DEATH(make(cfg), "thr3 must be positive");
+    cfg = {};
+    cfg.mpkiSmoothing = 1.5;
+    EXPECT_DEATH(make(cfg), "mpkiSmoothing");
+    cfg = {};
+    cfg.spikeRejectFactor = 1.0;
+    EXPECT_DEATH(make(cfg), "spikeRejectFactor");
+    cfg = {};
+    cfg.watchdogThreshold = 0;
+    EXPECT_DEATH(make(cfg), "watchdogThreshold");
+}
+
+namespace
+{
+
+/** Drops every window of the hooked stream (dead telemetry). */
+struct DropAllWindows : WindowFaultHook
+{
+    bool onWindowClose(std::uint64_t, std::uint64_t, PerfWindow &) override
+    {
+        return false;
+    }
+};
+
+/** A control plane whose writes never land. */
+struct BrokenRemasker : Remasker
+{
+    unsigned attempts = 0;
+    bool
+    apply(System &, AppId, const std::vector<AppId> &,
+          const SplitMasks &) override
+    {
+        ++attempts;
+        return false;
+    }
+};
+
+/** A synthetic FG window with well-formed timestamps. */
+PerfWindow
+fgWindow(unsigned index, double mpki)
+{
+    PerfWindow w;
+    w.start = static_cast<Seconds>(index);
+    w.end = w.start + 1.0;
+    w.insts = 1000000;
+    w.llcAccesses = 2000;
+    w.llcMisses = static_cast<std::uint64_t>(mpki * 1000);
+    w.mpki = mpki;
+    w.apki = 2.0;
+    return w;
+}
+
+} // namespace
+
+TEST(DynamicPartitioner, WatchdogFallsBackOnDeadFgTelemetry)
+{
+    SystemConfig cfg;
+    cfg.perfWindow = 8e-6;
+    System sys(cfg);
+    const AppId fg = sys.addAppOnCores(
+        Catalog::byName("429.mcf").scaled(0.1), 0, 2);
+    const AppId bg = sys.addAppOnCores(
+        Catalog::byName("dedup").scaled(0.1), 2, 2, true);
+
+    DropAllWindows dead;
+    sys.setWindowFaultHook(fg, &dead);
+    DynamicPartitioner ctrl(fg, {bg});
+    sys.setController(&ctrl);
+    sys.run();
+
+    // ISSUE acceptance: with persistent telemetry failure the watchdog
+    // must settle on the fair partition within 10 windows.
+    EXPECT_EQ(ctrl.mode(), ControlMode::Fallback);
+    EXPECT_EQ(ctrl.fgWays(), 6u);
+    EXPECT_EQ(sys.wayMask(fg).count(), 6u);
+    EXPECT_EQ(sys.wayMask(bg).count(), 6u);
+    EXPECT_EQ((sys.wayMask(fg) & sys.wayMask(bg)).count(), 0u);
+    ASSERT_EQ(countHealthEvents(ctrl.healthLog(),
+                                HealthEventKind::FallbackEntered),
+              1u);
+    for (const HealthEvent &ev : ctrl.healthLog()) {
+        if (ev.kind == HealthEventKind::FallbackEntered)
+            EXPECT_LE(ev.count, 10u) << "settled too slowly";
+    }
+}
+
+TEST(DynamicPartitioner, RecoversWhenTelemetryReturns)
+{
+    SystemConfig scfg;
+    System sys(scfg);
+    const AppId fg = sys.addAppOnCores(
+        Catalog::byName("ferret").scaled(0.02), 0, 2);
+    const AppId bg = sys.addAppOnCores(
+        Catalog::byName("dedup").scaled(0.02), 2, 2);
+
+    DynamicPartitionerConfig cfg;
+    cfg.telemetryTimeoutWindows = 4;
+    cfg.recoveryWindows = 3;
+    DynamicPartitioner ctrl(fg, {bg}, cfg);
+
+    // Healthy start: a couple of valid foreground windows.
+    unsigned t = 0;
+    ctrl.onWindow(sys, fg, fgWindow(t++, 10.0));
+    ctrl.onWindow(sys, fg, fgWindow(t++, 10.0));
+    EXPECT_EQ(ctrl.mode(), ControlMode::Dynamic);
+
+    // Foreground telemetry goes silent; the background's windows keep
+    // the silence clock ticking until the watchdog trips.
+    for (unsigned i = 0; i < cfg.telemetryTimeoutWindows; ++i)
+        ctrl.onWindow(sys, bg, fgWindow(t + i, 5.0));
+    EXPECT_EQ(ctrl.mode(), ControlMode::Fallback);
+    EXPECT_EQ(ctrl.fgWays(), 6u);
+    EXPECT_EQ(sys.wayMask(fg).count(), 6u);
+
+    // The signal returns and stays stable: dynamic control resumes and
+    // re-probes from the top, as on a phase start.
+    t += cfg.telemetryTimeoutWindows;
+    for (unsigned i = 0; i < cfg.recoveryWindows; ++i)
+        ctrl.onWindow(sys, fg, fgWindow(t++, 10.0));
+    EXPECT_EQ(ctrl.mode(), ControlMode::Dynamic);
+    EXPECT_EQ(ctrl.fgWays(), 11u) << "recovery re-probes from the top";
+    EXPECT_EQ(countHealthEvents(ctrl.healthLog(),
+                                HealthEventKind::DynamicResumed),
+              1u);
+}
+
+TEST(DynamicPartitioner, WatchdogFallsBackOnBrokenControlPlane)
+{
+    SystemConfig cfg;
+    cfg.perfWindow = 8e-6;
+    System sys(cfg);
+    const AppId fg = sys.addAppOnCores(
+        Catalog::byName("429.mcf").scaled(0.1), 0, 2);
+    const AppId bg = sys.addAppOnCores(
+        Catalog::byName("dedup").scaled(0.1), 2, 2, true);
+
+    BrokenRemasker broken;
+    DynamicPartitioner ctrl(fg, {bg}, DynamicPartitionerConfig{},
+                            &broken);
+    sys.setController(&ctrl);
+    sys.run();
+
+    // Every dynamic write failed; the watchdog must bypass the broken
+    // remasker and land the fair split through the direct path.
+    EXPECT_EQ(ctrl.mode(), ControlMode::Fallback);
+    EXPECT_EQ(ctrl.fgWays(), 6u);
+    EXPECT_EQ(sys.wayMask(fg).count(), 6u);
+    EXPECT_GE(ctrl.remaskFailures(), 4u);
+    EXPECT_EQ(ctrl.remaskFailures(), ctrl.remaskAttempts());
+    EXPECT_GE(countHealthEvents(ctrl.healthLog(),
+                                HealthEventKind::RemaskFailed),
+              4u);
+}
+
+TEST(DynamicPartitioner, RejectsGarbageAndLoneSpikes)
+{
+    SystemConfig scfg;
+    System sys(scfg);
+    const AppId fg = sys.addAppOnCores(
+        Catalog::byName("ferret").scaled(0.02), 0, 2);
+    const AppId bg = sys.addAppOnCores(
+        Catalog::byName("dedup").scaled(0.02), 2, 2);
+    DynamicPartitioner ctrl(fg, {bg});
+
+    unsigned t = 0;
+    for (int i = 0; i < 4; ++i)
+        ctrl.onWindow(sys, fg, fgWindow(t++, 10.0));
+    EXPECT_EQ(ctrl.rejectedSamples(), 0u);
+
+    // NaN and empty windows are garbage regardless of level.
+    PerfWindow nan_w = fgWindow(t++, 10.0);
+    nan_w.mpki = std::numeric_limits<double>::quiet_NaN();
+    ctrl.onWindow(sys, fg, nan_w);
+    EXPECT_EQ(ctrl.rejectedSamples(), 1u);
+    PerfWindow torn = fgWindow(t++, 10.0);
+    torn.insts = 0; // misses without instructions: a torn counter read
+    ctrl.onWindow(sys, fg, torn);
+    EXPECT_EQ(ctrl.rejectedSamples(), 2u);
+
+    // A lone 100x spike is quarantined as a counter glitch...
+    ctrl.onWindow(sys, fg, fgWindow(t++, 10.0));
+    ctrl.onWindow(sys, fg, fgWindow(t++, 1000.0));
+    EXPECT_EQ(ctrl.rejectedSamples(), 3u);
+    ctrl.onWindow(sys, fg, fgWindow(t++, 10.0));
+    EXPECT_EQ(ctrl.mode(), ControlMode::Dynamic)
+        << "isolated glitches must not trip the watchdog";
+
+    // ...but two consecutive outliers confirm a genuine phase shift.
+    const std::uint64_t rejected = ctrl.rejectedSamples();
+    ctrl.onWindow(sys, fg, fgWindow(t++, 1000.0));
+    ctrl.onWindow(sys, fg, fgWindow(t++, 1000.0));
+    EXPECT_EQ(ctrl.rejectedSamples(), rejected + 1)
+        << "the second outlier is real data and must pass";
+    EXPECT_EQ(countHealthEvents(ctrl.healthLog(),
+                                HealthEventKind::SampleRejected),
+              ctrl.rejectedSamples());
 }
 
 // --------------------------------------------------------- CoScheduler --

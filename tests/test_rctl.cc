@@ -150,9 +150,148 @@ TEST(Resctrl, InvalidSchemataRejected)
     f.fs.createGroup("g");
     EXPECT_EQ(f.fs.writeSchemata("g", "L3:0=505"),
               RctlStatus::InvalidMask); // holes
-    EXPECT_EQ(f.fs.writeSchemata("g", "bogus"), RctlStatus::InvalidMask);
+    EXPECT_EQ(f.fs.writeSchemata("g", "bogus"), RctlStatus::ParseError);
     EXPECT_EQ(f.fs.writeSchemata("nope", "L3:0=f"),
               RctlStatus::NotFound);
+}
+
+TEST(Schemata, ParseStatusDistinguishesFailureModes)
+{
+    WayMask out;
+    // Malformed text (would be EINVAL before reaching the mask checks).
+    EXPECT_EQ(ResctrlFs::parseSchemataStatus("", 12, out),
+              RctlStatus::ParseError);
+    EXPECT_EQ(ResctrlFs::parseSchemataStatus("L2:0=ff", 12, out),
+              RctlStatus::ParseError);
+    EXPECT_EQ(ResctrlFs::parseSchemataStatus("L3:0=", 12, out),
+              RctlStatus::ParseError);
+    EXPECT_EQ(ResctrlFs::parseSchemataStatus("L3:0=xyz", 12, out),
+              RctlStatus::ParseError);
+    EXPECT_EQ(ResctrlFs::parseSchemataStatus("L3:0=fffffffff", 12, out),
+              RctlStatus::ParseError)
+        << "mask literal longer than any supported cache";
+    // Well-formed text carrying an unusable mask.
+    EXPECT_EQ(ResctrlFs::parseSchemataStatus("L3:0=0", 12, out),
+              RctlStatus::InvalidMask)
+        << "empty mask would starve the group";
+    EXPECT_EQ(ResctrlFs::parseSchemataStatus("L3:0=1fff", 12, out),
+              RctlStatus::InvalidMask)
+        << "bits beyond the cache's ways";
+    // And the good case still lands in `out`.
+    ASSERT_EQ(ResctrlFs::parseSchemataStatus("L3:0=ff0", 12, out),
+              RctlStatus::Ok);
+    EXPECT_EQ(out.bits(), 0xff0u);
+}
+
+TEST(Resctrl, IdempotentRewriteIsNoOp)
+{
+    Fixture f;
+    f.fs.createGroup("g");
+    f.fs.assignApp("g", f.fg);
+    ASSERT_EQ(f.fs.writeSchemata("g", "L3:0=ff0"), RctlStatus::Ok);
+
+    // A hook that fails every write: the no-op rewrite must succeed
+    // without consulting it (retries of an applied mask stay cheap).
+    struct FailAll : RctlFaultHook
+    {
+        RctlStatus onSchemataWrite(const std::string &) override
+        {
+            return RctlStatus::IoError;
+        }
+        bool onApplyMask(const std::string &, AppId) override
+        {
+            return false;
+        }
+    } hook;
+    f.fs.setFaultHook(&hook);
+    EXPECT_EQ(f.fs.writeSchemata("g", "L3:0=ff0"), RctlStatus::Ok);
+    EXPECT_EQ(f.fs.writeSchemata("g", "L3:0=00f"), RctlStatus::IoError);
+    EXPECT_EQ(f.sys.wayMask(f.fg).bits(), 0xff0u)
+        << "failed write must not leak a partial mask";
+}
+
+TEST(Resctrl, PartialApplyRollsBack)
+{
+    Fixture f;
+    f.fs.createGroup("g");
+    f.fs.assignApp("g", f.fg);
+    f.fs.assignApp("g", f.bg);
+    ASSERT_EQ(f.fs.writeSchemata("g", "L3:0=fff"), RctlStatus::Ok);
+
+    // Fail the second member's mask update: the first member must be
+    // rolled back so the group never observes a torn write.
+    struct FailSecond : RctlFaultHook
+    {
+        unsigned calls = 0;
+        RctlStatus onSchemataWrite(const std::string &) override
+        {
+            return RctlStatus::Ok;
+        }
+        bool onApplyMask(const std::string &, AppId) override
+        {
+            return ++calls != 2;
+        }
+    } hook;
+    f.fs.setFaultHook(&hook);
+    EXPECT_EQ(f.fs.writeSchemata("g", "L3:0=00f"), RctlStatus::IoError);
+    EXPECT_EQ(f.sys.wayMask(f.fg).bits(), 0xfffu);
+    EXPECT_EQ(f.sys.wayMask(f.bg).bits(), 0xfffu);
+    EXPECT_EQ(*f.fs.readSchemata("g"), "L3:0=fff");
+
+    // With the fault cleared the same write goes through.
+    f.fs.setFaultHook(nullptr);
+    EXPECT_EQ(f.fs.writeSchemata("g", "L3:0=00f"), RctlStatus::Ok);
+    EXPECT_EQ(f.sys.wayMask(f.fg).bits(), 0x00fu);
+    EXPECT_EQ(f.sys.wayMask(f.bg).bits(), 0x00fu);
+}
+
+TEST(Resctrl, WriteWithRetryRecoversFromTransientFailures)
+{
+    Fixture f;
+    f.fs.createGroup("g");
+    f.fs.assignApp("g", f.fg);
+
+    // Transient EIO: fails twice, then heals.
+    struct FailTwice : RctlFaultHook
+    {
+        unsigned calls = 0;
+        RctlStatus onSchemataWrite(const std::string &) override
+        {
+            return ++calls <= 2 ? RctlStatus::IoError : RctlStatus::Ok;
+        }
+        bool onApplyMask(const std::string &, AppId) override
+        {
+            return true;
+        }
+    } hook;
+    f.fs.setFaultHook(&hook);
+    EXPECT_EQ(f.fs.writeSchemataWithRetry("g", "L3:0=0f0", 2),
+              RctlStatus::IoError)
+        << "retry budget exhausted";
+    hook.calls = 0;
+    EXPECT_EQ(f.fs.writeSchemataWithRetry("g", "L3:0=0f0", 3),
+              RctlStatus::Ok);
+    EXPECT_EQ(f.sys.wayMask(f.fg).bits(), 0x0f0u);
+
+    // Permanent errors are not retried: a parse error fails once.
+    struct CountOnly : RctlFaultHook
+    {
+        unsigned calls = 0;
+        RctlStatus onSchemataWrite(const std::string &) override
+        {
+            ++calls;
+            return RctlStatus::Ok;
+        }
+        bool onApplyMask(const std::string &, AppId) override
+        {
+            return true;
+        }
+    } counter;
+    f.fs.setFaultHook(&counter);
+    EXPECT_EQ(f.fs.writeSchemataWithRetry("g", "garbage", 5),
+              RctlStatus::ParseError);
+    EXPECT_EQ(counter.calls, 0u)
+        << "malformed text must be rejected before touching hardware";
 }
 
 TEST(Resctrl, MonitoringAggregatesGroupTraffic)
@@ -173,6 +312,8 @@ TEST(Resctrl, StatusNames)
     EXPECT_STREQ(rctlStatusName(RctlStatus::Ok), "ok");
     EXPECT_STREQ(rctlStatusName(RctlStatus::InvalidMask),
                  "invalid-mask");
+    EXPECT_STREQ(rctlStatusName(RctlStatus::ParseError), "parse-error");
+    EXPECT_STREQ(rctlStatusName(RctlStatus::IoError), "io-error");
 }
 
 } // namespace
