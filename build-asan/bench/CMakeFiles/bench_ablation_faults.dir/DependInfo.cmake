@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_faults.cc" "bench/CMakeFiles/bench_ablation_faults.dir/bench_ablation_faults.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_faults.dir/bench_ablation_faults.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/bench/CMakeFiles/capart_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fault/CMakeFiles/capart_fault.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rctl/CMakeFiles/capart_rctl.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/capart_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/analysis/CMakeFiles/capart_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/capart_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cpu/CMakeFiles/capart_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dram/CMakeFiles/capart_dram.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/capart_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/perf/CMakeFiles/capart_perf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/prefetch/CMakeFiles/capart_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/capart_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/capart_stats.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/capart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

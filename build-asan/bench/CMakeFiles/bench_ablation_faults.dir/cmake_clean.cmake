@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_faults.dir/bench_ablation_faults.cc.o"
+  "CMakeFiles/bench_ablation_faults.dir/bench_ablation_faults.cc.o.d"
+  "bench_ablation_faults"
+  "bench_ablation_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_llc_size.dir/bench_ablation_llc_size.cc.o"
+  "CMakeFiles/bench_ablation_llc_size.dir/bench_ablation_llc_size.cc.o.d"
+  "bench_ablation_llc_size"
+  "bench_ablation_llc_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_llc_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

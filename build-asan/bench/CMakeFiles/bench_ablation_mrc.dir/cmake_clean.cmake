@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mrc.dir/bench_ablation_mrc.cc.o"
+  "CMakeFiles/bench_ablation_mrc.dir/bench_ablation_mrc.cc.o.d"
+  "bench_ablation_mrc"
+  "bench_ablation_mrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multibg.dir/bench_ablation_multibg.cc.o"
+  "CMakeFiles/bench_ablation_multibg.dir/bench_ablation_multibg.cc.o.d"
+  "bench_ablation_multibg"
+  "bench_ablation_multibg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multibg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

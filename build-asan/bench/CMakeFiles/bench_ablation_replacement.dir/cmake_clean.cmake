@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_replacement.dir/bench_ablation_replacement.cc.o"
+  "CMakeFiles/bench_ablation_replacement.dir/bench_ablation_replacement.cc.o.d"
+  "bench_ablation_replacement"
+  "bench_ablation_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_thresholds.dir/bench_ablation_thresholds.cc.o"
+  "CMakeFiles/bench_ablation_thresholds.dir/bench_ablation_thresholds.cc.o.d"
+  "bench_ablation_thresholds"
+  "bench_ablation_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

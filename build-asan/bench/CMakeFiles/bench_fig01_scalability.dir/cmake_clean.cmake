@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_scalability.dir/bench_fig01_scalability.cc.o"
+  "CMakeFiles/bench_fig01_scalability.dir/bench_fig01_scalability.cc.o.d"
+  "bench_fig01_scalability"
+  "bench_fig01_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_llc_sensitivity.dir/bench_fig02_llc_sensitivity.cc.o"
+  "CMakeFiles/bench_fig02_llc_sensitivity.dir/bench_fig02_llc_sensitivity.cc.o.d"
+  "bench_fig02_llc_sensitivity"
+  "bench_fig02_llc_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_llc_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

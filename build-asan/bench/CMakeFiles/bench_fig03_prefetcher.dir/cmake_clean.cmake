@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_prefetcher.dir/bench_fig03_prefetcher.cc.o"
+  "CMakeFiles/bench_fig03_prefetcher.dir/bench_fig03_prefetcher.cc.o.d"
+  "bench_fig03_prefetcher"
+  "bench_fig03_prefetcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_clustering.dir/bench_fig05_clustering.cc.o"
+  "CMakeFiles/bench_fig05_clustering.dir/bench_fig05_clustering.cc.o.d"
+  "bench_fig05_clustering"
+  "bench_fig05_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

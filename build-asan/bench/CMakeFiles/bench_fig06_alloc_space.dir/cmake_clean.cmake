@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_alloc_space.dir/bench_fig06_alloc_space.cc.o"
+  "CMakeFiles/bench_fig06_alloc_space.dir/bench_fig06_alloc_space.cc.o.d"
+  "bench_fig06_alloc_space"
+  "bench_fig06_alloc_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_alloc_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

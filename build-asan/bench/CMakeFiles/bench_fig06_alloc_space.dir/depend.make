@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_alloc_space.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_energy_contour.dir/bench_fig07_energy_contour.cc.o"
+  "CMakeFiles/bench_fig07_energy_contour.dir/bench_fig07_energy_contour.cc.o.d"
+  "bench_fig07_energy_contour"
+  "bench_fig07_energy_contour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_energy_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

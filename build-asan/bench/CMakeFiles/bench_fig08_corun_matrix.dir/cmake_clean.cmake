@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_corun_matrix.dir/bench_fig08_corun_matrix.cc.o"
+  "CMakeFiles/bench_fig08_corun_matrix.dir/bench_fig08_corun_matrix.cc.o.d"
+  "bench_fig08_corun_matrix"
+  "bench_fig08_corun_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_corun_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

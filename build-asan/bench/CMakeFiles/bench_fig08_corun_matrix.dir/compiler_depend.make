@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig08_corun_matrix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_consolidation_energy.dir/bench_fig10_consolidation_energy.cc.o"
+  "CMakeFiles/bench_fig10_consolidation_energy.dir/bench_fig10_consolidation_energy.cc.o.d"
+  "bench_fig10_consolidation_energy"
+  "bench_fig10_consolidation_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_consolidation_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_mcf_phases.dir/bench_fig12_mcf_phases.cc.o"
+  "CMakeFiles/bench_fig12_mcf_phases.dir/bench_fig12_mcf_phases.cc.o.d"
+  "bench_fig12_mcf_phases"
+  "bench_fig12_mcf_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mcf_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

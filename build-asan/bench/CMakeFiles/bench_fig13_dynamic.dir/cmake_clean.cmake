@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_dynamic.dir/bench_fig13_dynamic.cc.o"
+  "CMakeFiles/bench_fig13_dynamic.dir/bench_fig13_dynamic.cc.o.d"
+  "bench_fig13_dynamic"
+  "bench_fig13_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

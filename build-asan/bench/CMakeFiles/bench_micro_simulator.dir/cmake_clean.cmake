@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_simulator.dir/bench_micro_simulator.cc.o"
+  "CMakeFiles/bench_micro_simulator.dir/bench_micro_simulator.cc.o.d"
+  "bench_micro_simulator"
+  "bench_micro_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summary_headline.dir/bench_summary_headline.cc.o"
+  "CMakeFiles/bench_summary_headline.dir/bench_summary_headline.cc.o.d"
+  "bench_summary_headline"
+  "bench_summary_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summary_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_summary_headline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libcapart_bench_common.a"
+  "../lib/libcapart_bench_common.pdb"
+  "CMakeFiles/capart_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/capart_bench_common.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

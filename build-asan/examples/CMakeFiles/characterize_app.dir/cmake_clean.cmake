@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_app.dir/characterize_app.cpp.o"
+  "CMakeFiles/characterize_app.dir/characterize_app.cpp.o.d"
+  "characterize_app"
+  "characterize_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocate_websearch.dir/colocate_websearch.cpp.o"
+  "CMakeFiles/colocate_websearch.dir/colocate_websearch.cpp.o.d"
+  "colocate_websearch"
+  "colocate_websearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocate_websearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

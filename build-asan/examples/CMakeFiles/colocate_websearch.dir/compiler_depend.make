@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for colocate_websearch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for colocate_websearch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_partition_demo.dir/dynamic_partition_demo.cpp.o"
+  "CMakeFiles/dynamic_partition_demo.dir/dynamic_partition_demo.cpp.o.d"
+  "dynamic_partition_demo"
+  "dynamic_partition_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_partition_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resctrl_daemon.dir/resctrl_daemon.cpp.o"
+  "CMakeFiles/resctrl_daemon.dir/resctrl_daemon.cpp.o.d"
+  "resctrl_daemon"
+  "resctrl_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resctrl_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for resctrl_daemon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("mem")
+subdirs("prefetch")
+subdirs("dram")
+subdirs("interconnect")
+subdirs("cpu")
+subdirs("energy")
+subdirs("perf")
+subdirs("workload")
+subdirs("sim")
+subdirs("core")
+subdirs("rctl")
+subdirs("fault")
+subdirs("analysis")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/clustering.cc" "src/analysis/CMakeFiles/capart_analysis.dir/clustering.cc.o" "gcc" "src/analysis/CMakeFiles/capart_analysis.dir/clustering.cc.o.d"
+  "/root/repo/src/analysis/mrc.cc" "src/analysis/CMakeFiles/capart_analysis.dir/mrc.cc.o" "gcc" "src/analysis/CMakeFiles/capart_analysis.dir/mrc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/capart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_analysis.dir/clustering.cc.o"
+  "CMakeFiles/capart_analysis.dir/clustering.cc.o.d"
+  "CMakeFiles/capart_analysis.dir/mrc.cc.o"
+  "CMakeFiles/capart_analysis.dir/mrc.cc.o.d"
+  "libcapart_analysis.a"
+  "libcapart_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

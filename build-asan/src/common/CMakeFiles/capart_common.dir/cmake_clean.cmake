@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_common.dir/logging.cc.o"
+  "CMakeFiles/capart_common.dir/logging.cc.o.d"
+  "libcapart_common.a"
+  "libcapart_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

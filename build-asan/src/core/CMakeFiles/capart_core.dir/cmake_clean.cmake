@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_core.dir/co_scheduler.cc.o"
+  "CMakeFiles/capart_core.dir/co_scheduler.cc.o.d"
+  "CMakeFiles/capart_core.dir/dynamic_partitioner.cc.o"
+  "CMakeFiles/capart_core.dir/dynamic_partitioner.cc.o.d"
+  "CMakeFiles/capart_core.dir/phase_detector.cc.o"
+  "CMakeFiles/capart_core.dir/phase_detector.cc.o.d"
+  "CMakeFiles/capart_core.dir/static_policies.cc.o"
+  "CMakeFiles/capart_core.dir/static_policies.cc.o.d"
+  "libcapart_core.a"
+  "libcapart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

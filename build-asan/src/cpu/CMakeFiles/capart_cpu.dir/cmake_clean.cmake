@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_cpu.dir/core_model.cc.o"
+  "CMakeFiles/capart_cpu.dir/core_model.cc.o.d"
+  "libcapart_cpu.a"
+  "libcapart_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_dram.dir/dram_model.cc.o"
+  "CMakeFiles/capart_dram.dir/dram_model.cc.o.d"
+  "libcapart_dram.a"
+  "libcapart_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

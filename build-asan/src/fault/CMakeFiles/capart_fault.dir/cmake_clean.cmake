@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_fault.dir/fault_injector.cc.o"
+  "CMakeFiles/capart_fault.dir/fault_injector.cc.o.d"
+  "CMakeFiles/capart_fault.dir/resctrl_remasker.cc.o"
+  "CMakeFiles/capart_fault.dir/resctrl_remasker.cc.o.d"
+  "libcapart_fault.a"
+  "libcapart_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache_config.cc" "src/mem/CMakeFiles/capart_mem.dir/cache_config.cc.o" "gcc" "src/mem/CMakeFiles/capart_mem.dir/cache_config.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/mem/CMakeFiles/capart_mem.dir/hierarchy.cc.o" "gcc" "src/mem/CMakeFiles/capart_mem.dir/hierarchy.cc.o.d"
+  "/root/repo/src/mem/replacement.cc" "src/mem/CMakeFiles/capart_mem.dir/replacement.cc.o" "gcc" "src/mem/CMakeFiles/capart_mem.dir/replacement.cc.o.d"
+  "/root/repo/src/mem/set_assoc_cache.cc" "src/mem/CMakeFiles/capart_mem.dir/set_assoc_cache.cc.o" "gcc" "src/mem/CMakeFiles/capart_mem.dir/set_assoc_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/capart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_mem.dir/cache_config.cc.o"
+  "CMakeFiles/capart_mem.dir/cache_config.cc.o.d"
+  "CMakeFiles/capart_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/capart_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/capart_mem.dir/replacement.cc.o"
+  "CMakeFiles/capart_mem.dir/replacement.cc.o.d"
+  "CMakeFiles/capart_mem.dir/set_assoc_cache.cc.o"
+  "CMakeFiles/capart_mem.dir/set_assoc_cache.cc.o.d"
+  "libcapart_mem.a"
+  "libcapart_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_perf.dir/perf_counters.cc.o"
+  "CMakeFiles/capart_perf.dir/perf_counters.cc.o.d"
+  "libcapart_perf.a"
+  "libcapart_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_prefetch.dir/prefetchers.cc.o"
+  "CMakeFiles/capart_prefetch.dir/prefetchers.cc.o.d"
+  "libcapart_prefetch.a"
+  "libcapart_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

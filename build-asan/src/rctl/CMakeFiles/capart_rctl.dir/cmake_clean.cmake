@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_rctl.dir/resctrl.cc.o"
+  "CMakeFiles/capart_rctl.dir/resctrl.cc.o.d"
+  "libcapart_rctl.a"
+  "libcapart_rctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_rctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

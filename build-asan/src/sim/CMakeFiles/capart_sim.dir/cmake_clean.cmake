@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_sim.dir/experiment.cc.o"
+  "CMakeFiles/capart_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/capart_sim.dir/system.cc.o"
+  "CMakeFiles/capart_sim.dir/system.cc.o.d"
+  "libcapart_sim.a"
+  "libcapart_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

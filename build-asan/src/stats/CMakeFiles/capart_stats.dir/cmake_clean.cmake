@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_stats.dir/summary.cc.o"
+  "CMakeFiles/capart_stats.dir/summary.cc.o.d"
+  "CMakeFiles/capart_stats.dir/table.cc.o"
+  "CMakeFiles/capart_stats.dir/table.cc.o.d"
+  "libcapart_stats.a"
+  "libcapart_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

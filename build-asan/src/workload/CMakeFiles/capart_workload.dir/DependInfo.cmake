@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_params.cc" "src/workload/CMakeFiles/capart_workload.dir/app_params.cc.o" "gcc" "src/workload/CMakeFiles/capart_workload.dir/app_params.cc.o.d"
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/capart_workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/capart_workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/capart_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/capart_workload.dir/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/capart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

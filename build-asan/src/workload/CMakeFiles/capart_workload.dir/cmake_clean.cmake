@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_workload.dir/app_params.cc.o"
+  "CMakeFiles/capart_workload.dir/app_params.cc.o.d"
+  "CMakeFiles/capart_workload.dir/catalog.cc.o"
+  "CMakeFiles/capart_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/capart_workload.dir/generator.cc.o"
+  "CMakeFiles/capart_workload.dir/generator.cc.o.d"
+  "libcapart_workload.a"
+  "libcapart_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_catalog_apps.dir/test_catalog_apps.cc.o"
+  "CMakeFiles/test_catalog_apps.dir/test_catalog_apps.cc.o.d"
+  "test_catalog_apps"
+  "test_catalog_apps.pdb"
+  "test_catalog_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_catalog_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/test_cpu.cc.o"
+  "CMakeFiles/test_cpu.dir/test_cpu.cc.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+  "test_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

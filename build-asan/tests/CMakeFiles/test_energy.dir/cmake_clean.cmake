@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy.dir/test_energy.cc.o"
+  "CMakeFiles/test_energy.dir/test_energy.cc.o.d"
+  "test_energy"
+  "test_energy.pdb"
+  "test_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_cache.dir/test_mem_cache.cc.o"
+  "CMakeFiles/test_mem_cache.dir/test_mem_cache.cc.o.d"
+  "test_mem_cache"
+  "test_mem_cache.pdb"
+  "test_mem_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

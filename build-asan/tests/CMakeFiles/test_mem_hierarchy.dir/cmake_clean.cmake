@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_hierarchy.dir/test_mem_hierarchy.cc.o"
+  "CMakeFiles/test_mem_hierarchy.dir/test_mem_hierarchy.cc.o.d"
+  "test_mem_hierarchy"
+  "test_mem_hierarchy.pdb"
+  "test_mem_hierarchy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrc.dir/test_mrc.cc.o"
+  "CMakeFiles/test_mrc.dir/test_mrc.cc.o.d"
+  "test_mrc"
+  "test_mrc.pdb"
+  "test_mrc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf.dir/test_perf.cc.o"
+  "CMakeFiles/test_perf.dir/test_perf.cc.o.d"
+  "test_perf"
+  "test_perf.pdb"
+  "test_perf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

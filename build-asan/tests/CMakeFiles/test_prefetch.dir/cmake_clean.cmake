@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetch.dir/test_prefetch.cc.o"
+  "CMakeFiles/test_prefetch.dir/test_prefetch.cc.o.d"
+  "test_prefetch"
+  "test_prefetch.pdb"
+  "test_prefetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

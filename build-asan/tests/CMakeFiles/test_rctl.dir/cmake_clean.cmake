@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rctl.dir/test_rctl.cc.o"
+  "CMakeFiles/test_rctl.dir/test_rctl.cc.o.d"
+  "test_rctl"
+  "test_rctl.pdb"
+  "test_rctl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_mem_cache[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_mem_hierarchy[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_prefetch[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_dram[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_energy[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_perf[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_workload[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_catalog_apps[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_mrc[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_rctl[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_fault[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_integration[1]_include.cmake")
