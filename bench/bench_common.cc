@@ -3,12 +3,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <thread>
 
 #include "workload/catalog.hh"
 
 namespace capart::bench
 {
+
+namespace
+{
+constexpr const char *kDefaultCacheDir = ".capart-cache";
+} // namespace
 
 BenchOptions
 parseArgs(int argc, char **argv, double default_scale,
@@ -27,14 +34,36 @@ parseArgs(int argc, char **argv, double default_scale,
             opts.scale = std::min(opts.scale, default_scale * 0.3);
         } else if (arg.rfind("--seed=", 0) == 0) {
             opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opts.jobs =
+                static_cast<unsigned>(std::strtoul(arg.c_str() + 7,
+                                                   nullptr, 10));
+            if (opts.jobs == 0)
+                opts.jobs = std::thread::hardware_concurrency();
+        } else if (arg == "--resume") {
+            opts.resume = true;
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            opts.cacheDir = arg.substr(12);
+            opts.resume = true;
         } else {
             std::printf("%s\n\nusage: %s [--scale=F] [--csv] [--quick] "
-                        "[--seed=N]\n"
-                        "  --scale=F  app instruction-count scale "
+                        "[--seed=N] [--jobs=N] [--resume] "
+                        "[--cache-dir=D]\n"
+                        "  --scale=F    app instruction-count scale "
                         "(default %.3g)\n"
-                        "  --csv      machine-readable output\n"
-                        "  --quick    cheaper settings for smoke runs\n",
-                        description, argv[0], default_scale);
+                        "  --csv        machine-readable output\n"
+                        "  --quick      cheaper settings for smoke runs\n"
+                        "  --jobs=N     parallel sweep workers "
+                        "(0 = all host cores);\n"
+                        "               output is bit-identical for "
+                        "every N\n"
+                        "  --resume     memoize finished sweep points in "
+                        "%s/\n"
+                        "               and skip them on re-runs\n"
+                        "  --cache-dir=D  --resume with cache files "
+                        "under D\n",
+                        description, argv[0], default_scale,
+                        kDefaultCacheDir);
             std::exit(arg == "--help" ? 0 : 1);
         }
     }
@@ -42,7 +71,29 @@ parseArgs(int argc, char **argv, double default_scale,
         std::fprintf(stderr, "invalid --scale\n");
         std::exit(1);
     }
+    if (opts.cacheDir.empty())
+        opts.cacheDir = kDefaultCacheDir;
     return opts;
+}
+
+exec::SweepRunner
+makeRunner(const BenchOptions &opts, const std::string &bench_name)
+{
+    exec::SweepRunnerOptions ro;
+    ro.jobs = opts.jobs;
+    ro.baseSeed = opts.seed;
+    if (opts.resume) {
+        std::filesystem::create_directories(opts.cacheDir);
+        ro.cachePath = opts.cacheDir + "/" + bench_name + ".cache";
+    }
+    ro.progress = [](std::size_t done, std::size_t total) {
+        // Stderr only: stdout (the table/CSV) stays byte-identical
+        // regardless of completion order.
+        std::fprintf(stderr, "\r%zu/%zu sweep points done", done, total);
+        if (done == total)
+            std::fputc('\n', stderr);
+    };
+    return exec::SweepRunner(ro);
 }
 
 void

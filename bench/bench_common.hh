@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/sweep_runner.hh"
 #include "sim/experiment.hh"
 #include "stats/table.hh"
 #include "workload/app_params.hh"
@@ -32,14 +33,30 @@ struct BenchOptions
     bool quick = false;
     /** Random seed for the platform. */
     std::uint64_t seed = 12345;
+    /** Sweep worker threads (--jobs=N; 0 = one per host core). */
+    unsigned jobs = 1;
+    /** Memoize sweep points on disk and skip completed ones. */
+    bool resume = false;
+    /** Cache directory for --resume (default .capart-cache/). */
+    std::string cacheDir;
 };
 
 /**
- * Parse --scale=X, --csv, --quick, --seed=N; prints usage and exits on
- * --help or unknown arguments. @p default_scale seeds opts.scale.
+ * Parse --scale=X, --csv, --quick, --seed=N, --jobs=N, --resume,
+ * --cache-dir=D; prints usage and exits on --help or unknown
+ * arguments. @p default_scale seeds opts.scale.
  */
 BenchOptions parseArgs(int argc, char **argv, double default_scale,
                        const char *description);
+
+/**
+ * A SweepRunner configured from @p opts: seeded with opts.seed, with
+ * opts.jobs workers, progress ticks on stderr, and — when opts.resume
+ * is set — an on-disk memoization cache at
+ * `<cacheDir>/<bench_name>.cache` (the directory is created).
+ */
+exec::SweepRunner makeRunner(const BenchOptions &opts,
+                             const std::string &bench_name);
 
 /** Print @p table as text or CSV per @p opts, preceded by a title. */
 void emit(const BenchOptions &opts, const std::string &title,

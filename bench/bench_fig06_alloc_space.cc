@@ -2,7 +2,8 @@
  * @file
  * Figure 6: execution time, LLC MPKI, socket energy, and wall energy
  * of every (threads x ways) resource allocation for the six cluster
- * representatives — the 96-allocation sweep of §4.
+ * representatives — the 96-allocation sweep of §4, fanned out through
+ * SweepRunner (`--jobs=N`, `--resume`).
  */
 
 #include <iostream>
@@ -22,24 +23,40 @@ main(int argc, char **argv)
         "representative");
 
     const unsigned thread_step = opts.quick ? 2 : 1;
-    Table t({"rep", "app", "threads", "ways", "time_ms", "mpki",
-             "socket_J", "wall_J"});
+    const unsigned way_step = opts.quick ? 2 : 1;
     const auto reps = representatives();
+
+    struct Point
+    {
+        std::size_t rep;
+        unsigned threads;
+        unsigned ways;
+    };
+    std::vector<Point> points;
+    std::vector<exec::ExperimentSpec> specs;
     for (std::size_t r = 0; r < reps.size(); ++r) {
         for (unsigned threads = 1; threads <= 8; threads += thread_step) {
-            for (unsigned ways = 1; ways <= 12;
-                 ways += (opts.quick ? 2 : 1)) {
-                const SoloResult res =
-                    soloAtWays(reps[r], ways, opts, threads);
-                t.addRow({repLabel(r), reps[r].name,
-                          std::to_string(threads), std::to_string(ways),
-                          Table::num(res.time * 1e3, 3),
-                          Table::num(res.app.mpki(), 2),
-                          Table::num(res.socketEnergy, 4),
-                          Table::num(res.wallEnergy, 4)});
+            for (unsigned ways = 1; ways <= 12; ways += way_step) {
+                points.push_back({r, threads, ways});
+                specs.push_back(exec::soloSpec(reps[r].name, threads,
+                                               ways, opts.scale));
             }
         }
-        std::cerr << "swept " << reps[r].name << "\n";
+    }
+
+    const std::vector<exec::SweepResult> res =
+        makeRunner(opts, "fig06_alloc_space").run(specs);
+
+    Table t({"rep", "app", "threads", "ways", "time_ms", "mpki",
+             "socket_J", "wall_J"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        t.addRow({repLabel(p.rep), reps[p.rep].name,
+                  std::to_string(p.threads), std::to_string(p.ways),
+                  Table::num(res[i].time * 1e3, 3),
+                  Table::num(res[i].mpki, 2),
+                  Table::num(res[i].socketEnergy, 4),
+                  Table::num(res[i].wallEnergy, 4)});
     }
     emit(opts, "Figure 6: allocation-space sweep for the cluster "
                "representatives",

@@ -6,6 +6,9 @@
  * here. Also reports each representative's energy-optimal allocation
  * and how much LLC it can yield without leaving the 2.5 % contour
  * (the "resource gap" §4 exploits for consolidation).
+ *
+ * All six planes are swept as one SweepRunner batch (`--jobs=N`,
+ * `--resume`).
  */
 
 #include <iostream>
@@ -25,33 +28,51 @@ main(int argc, char **argv)
         argc, argv, 0.08, "Fig. 7: wall-energy contours per "
                           "representative");
 
+    const unsigned thread_step = opts.quick ? 2 : 1;
     const unsigned way_step = opts.quick ? 3 : 1;
     const auto reps = representatives();
+
+    struct Point
+    {
+        std::size_t rep;
+        unsigned threads;
+        unsigned ways;
+    };
+    std::vector<Point> points;
+    std::vector<exec::ExperimentSpec> specs;
+    for (std::size_t r = 0; r < reps.size(); ++r)
+        for (unsigned threads = 1; threads <= 8; threads += thread_step)
+            for (unsigned ways = 1; ways <= 12; ways += way_step) {
+                points.push_back({r, threads, ways});
+                specs.push_back(exec::soloSpec(reps[r].name, threads,
+                                               ways, opts.scale));
+            }
+
+    const std::vector<exec::SweepResult> res =
+        makeRunner(opts, "fig07_energy_contour").run(specs);
+
     for (std::size_t r = 0; r < reps.size(); ++r) {
-        // Sweep the plane.
+        // Assemble this representative's plane.
         std::vector<std::vector<double>> wall(
             9, std::vector<double>(13,
                                    std::numeric_limits<double>::max()));
         double best = std::numeric_limits<double>::max();
         unsigned best_threads = 1, best_ways = 1;
-        for (unsigned threads = 1; threads <= 8;
-             threads += (opts.quick ? 2 : 1)) {
-            for (unsigned ways = 1; ways <= 12; ways += way_step) {
-                const SoloResult res =
-                    soloAtWays(reps[r], ways, opts, threads);
-                wall[threads][ways] = res.wallEnergy;
-                if (res.wallEnergy < best) {
-                    best = res.wallEnergy;
-                    best_threads = threads;
-                    best_ways = ways;
-                }
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i].rep != r)
+                continue;
+            wall[points[i].threads][points[i].ways] = res[i].wallEnergy;
+            if (res[i].wallEnergy < best) {
+                best = res[i].wallEnergy;
+                best_threads = points[i].threads;
+                best_ways = points[i].ways;
             }
         }
 
         Table t({"threads\\ways", "1", "2", "3", "4", "5", "6", "7", "8",
                  "9", "10", "11", "12"});
         for (unsigned threads = 1; threads <= 8;
-             threads += (opts.quick ? 2 : 1)) {
+             threads += thread_step) {
             std::vector<std::string> row = {std::to_string(threads)};
             for (unsigned ways = 1; ways <= 12; ++ways) {
                 row.push_back(

@@ -6,6 +6,10 @@
  * Also reports §5.1's derived observations: the sensitive set (average
  * column slowdown > 10 %), the aggressor set (average row slowdown >
  * 10 %), and the fraction of apps that barely slow down.
+ *
+ * The 45x45 sweep (plus 45 solo baselines) fans out through
+ * SweepRunner: `--jobs=N` parallelizes it with bit-identical output,
+ * `--resume` memoizes completed cells across interrupted runs.
  */
 
 #include <iostream>
@@ -31,24 +35,25 @@ main(int argc, char **argv)
         opts.quick ? representatives() : Catalog::all();
     const std::size_t n = apps.size();
 
-    // Solo baselines (4 threads on 2 cores, §5).
-    std::vector<double> solo(n);
+    // Solo baselines (4 threads on 2 cores, §5) first, then the full
+    // matrix, all as one batch so the pool never idles between phases.
+    std::vector<exec::ExperimentSpec> specs;
+    specs.reserve(n + n * n);
     for (std::size_t i = 0; i < n; ++i)
-        solo[i] = soloAtThreads(apps[i], 4, opts).time;
+        specs.push_back(exec::soloSpec(apps[i].name, 4, 12, opts.scale));
+    for (std::size_t fg = 0; fg < n; ++fg)
+        for (std::size_t bg = 0; bg < n; ++bg)
+            specs.push_back(
+                exec::pairSpec(apps[fg].name, apps[bg].name, opts.scale));
+
+    const std::vector<exec::SweepResult> res =
+        makeRunner(opts, "fig08_corun_matrix").run(specs);
 
     // The matrix: slowdown[fg][bg].
     std::vector<std::vector<double>> slow(n, std::vector<double>(n, 1.0));
-    for (std::size_t fg = 0; fg < n; ++fg) {
-        for (std::size_t bg = 0; bg < n; ++bg) {
-            PairOptions po;
-            po.scale = opts.scale;
-            po.system.seed = opts.seed;
-            const PairResult pr = runPair(apps[fg], apps[bg], po);
-            slow[fg][bg] = pr.fgTime / solo[fg];
-        }
-        std::cerr << "fg " << apps[fg].name << " done (" << (fg + 1)
-                  << "/" << n << ")\n";
-    }
+    for (std::size_t fg = 0; fg < n; ++fg)
+        for (std::size_t bg = 0; bg < n; ++bg)
+            slow[fg][bg] = res[n + fg * n + bg].time / res[fg].time;
 
     Table t([&] {
         std::vector<std::string> hdr = {"bg\\fg"};

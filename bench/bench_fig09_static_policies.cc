@@ -3,12 +3,15 @@
  * Figure 9: foreground slowdown of every ordered representative pair
  * (Ci foreground + Cj continuously-running background) under the three
  * static consolidation approaches — shared, fair, and biased (§5.2).
+ *
+ * Each pair is one consolidation spec evaluating all three policies
+ * (so cross-policy comparisons share one derived seed), fanned out
+ * through SweepRunner (`--jobs=N`, `--resume`).
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
-#include "core/co_scheduler.hh"
 #include "stats/summary.hh"
 
 using namespace capart;
@@ -22,19 +25,31 @@ main(int argc, char **argv)
         "Fig. 9: fg slowdown for rep pairs under shared/fair/biased");
 
     const auto reps = representatives();
+    const unsigned policies = exec::policyBit(Policy::Shared) |
+                              exec::policyBit(Policy::Fair) |
+                              exec::policyBit(Policy::Biased);
+    std::vector<exec::ExperimentSpec> specs;
+    for (std::size_t i = 0; i < reps.size(); ++i)
+        for (std::size_t j = 0; j < reps.size(); ++j)
+            specs.push_back(exec::consolidationSpec(
+                reps[i].name, reps[j].name, policies, opts.scale));
+
+    const std::vector<exec::SweepResult> res =
+        makeRunner(opts, "fig09_static_policies").run(specs);
+
     Table t({"pair", "fg", "bg", "shared", "fair", "biased",
              "biased-fg-ways"});
     RunningStat sh_stat, fa_stat, bi_stat;
     unsigned bi_clean = 0, sh_clean = 0, cells = 0;
     for (std::size_t i = 0; i < reps.size(); ++i) {
         for (std::size_t j = 0; j < reps.size(); ++j) {
-            CoScheduleOptions co;
-            co.scale = opts.scale;
-            co.system.seed = opts.seed;
-            CoScheduler cs(reps[i], reps[j], co);
-            const double sh = cs.summarize(Policy::Shared).fgSlowdown;
-            const double fa = cs.summarize(Policy::Fair).fgSlowdown;
-            const ConsolidationSummary bi = cs.summarize(Policy::Biased);
+            const exec::SweepResult &r = res[i * reps.size() + j];
+            const double sh =
+                r.policy[static_cast<int>(Policy::Shared)].fgSlowdown;
+            const double fa =
+                r.policy[static_cast<int>(Policy::Fair)].fgSlowdown;
+            const exec::PolicyOutcome &bi =
+                r.policy[static_cast<int>(Policy::Biased)];
             sh_stat.add(sh);
             fa_stat.add(fa);
             bi_stat.add(bi.fgSlowdown);
@@ -45,7 +60,6 @@ main(int argc, char **argv)
                       reps[j].name, Table::num(sh, 3),
                       Table::num(fa, 3), Table::num(bi.fgSlowdown, 3),
                       std::to_string(bi.fgWays)});
-            std::cerr << repLabel(i) << "+" << repLabel(j) << " done\n";
         }
     }
     t.addRow({"Average", "", "", Table::num(sh_stat.mean(), 3),

@@ -3,12 +3,12 @@
  * Figure 10: socket energy of running both applications of each
  * unordered representative pair concurrently (shared / fair / biased),
  * normalized to running them sequentially on the whole machine (§5.3).
+ * Pairs fan out through SweepRunner (`--jobs=N`, `--resume`).
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
-#include "core/co_scheduler.hh"
 #include "stats/summary.hh"
 
 using namespace capart;
@@ -22,30 +22,40 @@ main(int argc, char **argv)
         "Fig. 10: consolidated socket energy vs sequential execution");
 
     const auto reps = representatives();
+    const unsigned policies = exec::policyBit(Policy::Shared) |
+                              exec::policyBit(Policy::Fair) |
+                              exec::policyBit(Policy::Biased);
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    std::vector<exec::ExperimentSpec> specs;
+    for (std::size_t i = 0; i < reps.size(); ++i)
+        for (std::size_t j = i; j < reps.size(); ++j) {
+            pairs.emplace_back(i, j);
+            specs.push_back(exec::consolidationSpec(
+                reps[i].name, reps[j].name, policies, opts.scale));
+        }
+
+    const std::vector<exec::SweepResult> res =
+        makeRunner(opts, "fig10_consolidation_energy").run(specs);
+
     Table t({"pair", "fg", "bg", "shared", "fair", "biased"});
     RunningStat sh_stat, fa_stat, bi_stat;
     double bi_best = 1.0;
-    for (std::size_t i = 0; i < reps.size(); ++i) {
-        for (std::size_t j = i; j < reps.size(); ++j) {
-            CoScheduleOptions co;
-            co.scale = opts.scale;
-            co.system.seed = opts.seed;
-            CoScheduler cs(reps[i], reps[j], co);
-            const double sh =
-                cs.summarize(Policy::Shared).energyVsSequential;
-            const double fa =
-                cs.summarize(Policy::Fair).energyVsSequential;
-            const double bi =
-                cs.summarize(Policy::Biased).energyVsSequential;
-            sh_stat.add(sh);
-            fa_stat.add(fa);
-            bi_stat.add(bi);
-            bi_best = std::min(bi_best, bi);
-            t.addRow({repLabel(i) + "+" + repLabel(j), reps[i].name,
-                      reps[j].name, Table::num(sh, 3),
-                      Table::num(fa, 3), Table::num(bi, 3)});
-            std::cerr << repLabel(i) << "+" << repLabel(j) << " done\n";
-        }
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+        const auto [i, j] = pairs[k];
+        const exec::SweepResult &r = res[k];
+        const double sh = r.policy[static_cast<int>(Policy::Shared)]
+                              .energyVsSequential;
+        const double fa =
+            r.policy[static_cast<int>(Policy::Fair)].energyVsSequential;
+        const double bi = r.policy[static_cast<int>(Policy::Biased)]
+                              .energyVsSequential;
+        sh_stat.add(sh);
+        fa_stat.add(fa);
+        bi_stat.add(bi);
+        bi_best = std::min(bi_best, bi);
+        t.addRow({repLabel(i) + "+" + repLabel(j), reps[i].name,
+                  reps[j].name, Table::num(sh, 3), Table::num(fa, 3),
+                  Table::num(bi, 3)});
     }
     t.addRow({"Average", "", "", Table::num(sh_stat.mean(), 3),
               Table::num(fa_stat.mean(), 3),

@@ -4,13 +4,13 @@
  * pair under the dynamic partitioning algorithm and under an
  * unpartitioned shared LLC, both normalized to the best static
  * (biased) allocation — plus the §6.4 foreground-protection check
- * (dynamic within ~2 % of best static).
+ * (dynamic within ~2 % of best static). Pairs fan out through
+ * SweepRunner (`--jobs=N`, `--resume`).
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
-#include "core/co_scheduler.hh"
 #include "stats/summary.hh"
 
 using namespace capart;
@@ -25,21 +25,32 @@ main(int argc, char **argv)
         "best-static");
 
     const auto reps = representatives();
+    const unsigned policies = exec::policyBit(Policy::Shared) |
+                              exec::policyBit(Policy::Biased) |
+                              exec::policyBit(Policy::Dynamic);
+    std::vector<exec::ExperimentSpec> specs;
+    for (std::size_t i = 0; i < reps.size(); ++i)
+        for (std::size_t j = 0; j < reps.size(); ++j)
+            specs.push_back(exec::consolidationSpec(
+                reps[i].name, reps[j].name, policies, opts.scale,
+                /*perf_window=*/15e-6));
+
+    const std::vector<exec::SweepResult> res =
+        makeRunner(opts, "fig13_dynamic").run(specs);
+
     Table t({"pair", "fg", "bg", "shared/static", "dynamic/static",
              "fg: dyn-vs-static", "settled-fg-ways"});
     RunningStat shared_ratio, dyn_ratio, fg_delta;
     double dyn_best = 0.0;
     for (std::size_t i = 0; i < reps.size(); ++i) {
         for (std::size_t j = 0; j < reps.size(); ++j) {
-            CoScheduleOptions co;
-            co.scale = opts.scale;
-            co.system.seed = opts.seed;
-            co.system.perfWindow = 15e-6;
-            CoScheduler cs(reps[i], reps[j], co);
-            const ConsolidationSummary bi = cs.summarize(Policy::Biased);
-            const ConsolidationSummary sh = cs.summarize(Policy::Shared);
-            const ConsolidationSummary dy =
-                cs.summarize(Policy::Dynamic);
+            const exec::SweepResult &r = res[i * reps.size() + j];
+            const exec::PolicyOutcome &bi =
+                r.policy[static_cast<int>(Policy::Biased)];
+            const exec::PolicyOutcome &sh =
+                r.policy[static_cast<int>(Policy::Shared)];
+            const exec::PolicyOutcome &dy =
+                r.policy[static_cast<int>(Policy::Dynamic)];
 
             const double r_sh = sh.bgThroughput / bi.bgThroughput;
             const double r_dy = dy.bgThroughput / bi.bgThroughput;
@@ -52,7 +63,6 @@ main(int argc, char **argv)
                       Table::num(r_dy, 3),
                       Table::num(dy.fgSlowdown - bi.fgSlowdown, 3),
                       std::to_string(dy.fgWays)});
-            std::cerr << repLabel(i) << "+" << repLabel(j) << " done\n";
         }
     }
     t.addRow({"Average", "", "", Table::num(shared_ratio.mean(), 3),

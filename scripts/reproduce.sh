@@ -4,8 +4,18 @@
 #
 #   --sanitize   additionally build with ASan+UBSan into build-asan/
 #                and run the test suite under the sanitizers first.
+#
+#   JOBS=N       sweep parallelism for the heavy binaries
+#                (default: all cores). Results are bit-identical for
+#                any N — seeds derive from spec hashes, not schedule.
+#   RESUME=1     memoize sweep points in .capart-cache/ so an
+#                interrupted run restarts where it stopped.
 set -u
 cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-0}" # 0 = all cores
+SWEEP_FLAGS="--jobs=$JOBS"
+[ "${RESUME:-0}" = "1" ] && SWEEP_FLAGS="$SWEEP_FLAGS --resume"
 
 if [ "${1:-}" = "--sanitize" ]; then
     cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -23,5 +33,13 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "### $b"
-    "$b"
+    case "$b" in
+    *fig06* | *fig07* | *fig08* | *fig09* | *fig10* | *fig11* | *fig13*)
+        # Sweep binaries: parallel, optionally memoized (see header).
+        "$b" $SWEEP_FLAGS
+        ;;
+    *)
+        "$b"
+        ;;
+    esac
 done 2>&1 | tee bench_output.txt

@@ -16,6 +16,27 @@
 namespace capart
 {
 
+/**
+ * Derive a child seed from a base seed and a salt.
+ *
+ * This is the seeding scheme of the parallel sweep infrastructure
+ * (src/exec): every experiment in a sweep runs with
+ * `mixSeed(base_seed, spec.hash())`, a pure function of *what* the run
+ * is, never of *when* or *where* it executes — which is what makes
+ * `--jobs=N` output bit-identical to serial for every N. The mix is a
+ * hash-combine followed by the splitmix64 finalizer, so nearby bases
+ * and salts decorrelate fully.
+ */
+inline std::uint64_t
+mixSeed(std::uint64_t base, std::uint64_t salt)
+{
+    std::uint64_t z =
+        base ^ (salt + 0x9e3779b97f4a7c15ULL + (base << 6) + (base >> 2));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 /** Deterministic xoshiro256** pseudo-random number generator. */
 class Rng
 {

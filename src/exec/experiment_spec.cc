@@ -1,0 +1,108 @@
+#include "exec/experiment_spec.hh"
+
+#include <cstdio>
+
+namespace capart::exec
+{
+namespace
+{
+
+const char *
+kindName(SpecKind k)
+{
+    switch (k) {
+      case SpecKind::Solo:
+        return "solo";
+      case SpecKind::Pair:
+        return "pair";
+      case SpecKind::Consolidation:
+        return "consol";
+    }
+    return "?";
+}
+
+/** Exact, locale-free double encoding (hexfloat). */
+std::string
+hexDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+ExperimentSpec::canonical() const
+{
+    std::string s = "capart-spec-v1";
+    s += "|kind=";
+    s += kindName(kind);
+    s += "|fg=" + fg;
+    s += "|bg=" + bg;
+    s += "|threads=" + std::to_string(threads);
+    s += "|ways=" + std::to_string(ways);
+    s += "|prefetch=" + std::string(prefetchAll ? "1" : "0");
+    s += "|bgcont=" + std::string(bgContinuous ? "1" : "0");
+    s += "|fgmask=" + std::to_string(fgMaskWays);
+    s += "|policies=" + std::to_string(policies);
+    s += "|scale=" + hexDouble(scale);
+    s += "|window=" + hexDouble(perfWindow);
+    return s;
+}
+
+std::uint64_t
+ExperimentSpec::hash() const
+{
+    // FNV-1a 64-bit over the canonical encoding.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : canonical()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+ExperimentSpec
+soloSpec(const std::string &app, unsigned threads, unsigned ways,
+         double scale, bool prefetch_all)
+{
+    ExperimentSpec s;
+    s.kind = SpecKind::Solo;
+    s.fg = app;
+    s.threads = threads;
+    s.ways = ways;
+    s.prefetchAll = prefetch_all;
+    s.scale = scale;
+    return s;
+}
+
+ExperimentSpec
+pairSpec(const std::string &fg, const std::string &bg, double scale,
+         unsigned fg_mask_ways, bool bg_continuous)
+{
+    ExperimentSpec s;
+    s.kind = SpecKind::Pair;
+    s.fg = fg;
+    s.bg = bg;
+    s.fgMaskWays = fg_mask_ways;
+    s.bgContinuous = bg_continuous;
+    s.scale = scale;
+    return s;
+}
+
+ExperimentSpec
+consolidationSpec(const std::string &fg, const std::string &bg,
+                  unsigned policies, double scale, double perf_window)
+{
+    ExperimentSpec s;
+    s.kind = SpecKind::Consolidation;
+    s.fg = fg;
+    s.bg = bg;
+    s.policies = policies;
+    s.scale = scale;
+    s.perfWindow = perf_window;
+    return s;
+}
+
+} // namespace capart::exec

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Declarative experiment specs for the parallel sweep infrastructure.
+ *
+ * A spec names one unit of sweep work — a solo characterization run, a
+ * foreground/background pair run, or a consolidation study evaluating a
+ * set of policies on one pair — purely by value. The spec's canonical
+ * encoding feeds both the per-run RNG seed (`mixSeed(base_seed,
+ * spec.hash())`, see common/rng.hh) and the on-disk memoization key, so
+ * results are a function of the spec alone: independent of `--jobs`,
+ * submission order, and any earlier runs in the process.
+ */
+
+#ifndef CAPART_EXEC_EXPERIMENT_SPEC_HH
+#define CAPART_EXEC_EXPERIMENT_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/static_policies.hh"
+
+namespace capart::exec
+{
+
+/** What kind of run a spec describes. */
+enum class SpecKind
+{
+    Solo,          //!< one app alone (runSolo)
+    Pair,          //!< fg + bg co-run (runPair)
+    Consolidation  //!< fg + bg under one or more policies (CoScheduler)
+};
+
+/** Bit for @p p in ExperimentSpec::policies. */
+constexpr unsigned
+policyBit(Policy p)
+{
+    return 1u << static_cast<unsigned>(p);
+}
+
+/** One unit of sweep work; plain data, hashable, order-free. */
+struct ExperimentSpec
+{
+    SpecKind kind = SpecKind::Solo;
+
+    /** Catalog name of the app (Solo) or foreground (Pair/Consol). */
+    std::string fg;
+    /** Catalog name of the background; empty for Solo. */
+    std::string bg;
+
+    /** Solo: hyperthreads. Pair/Consolidation: threads per app. */
+    unsigned threads = 4;
+    /** Solo only: LLC ways the app may use (12 = whole cache). */
+    unsigned ways = 12;
+    /** Solo only: prefetchers all-on (true) or all-off (false). */
+    bool prefetchAll = true;
+
+    /** Pair only: background restarts until the foreground finishes. */
+    bool bgContinuous = true;
+    /**
+     * Pair only: contiguous low ways given to the foreground, the rest
+     * to the background; 0 = unpartitioned (shared LLC).
+     */
+    unsigned fgMaskWays = 0;
+
+    /** Consolidation only: OR of policyBit() values to evaluate. */
+    unsigned policies = 0;
+
+    /** Instruction-scale factor for both apps. */
+    double scale = 1.0;
+    /** Perf-window override in seconds; 0 = SystemConfig default. */
+    double perfWindow = 0.0;
+
+    /**
+     * Unambiguous text encoding of every field (doubles in hexfloat, so
+     * the encoding is exact). Stable across program runs; versioned so
+     * future field additions invalidate old memoization entries instead
+     * of silently aliasing them.
+     */
+    std::string canonical() const;
+
+    /** FNV-1a 64-bit hash of canonical(). */
+    std::uint64_t hash() const;
+
+    bool operator==(const ExperimentSpec &o) const
+    {
+        return canonical() == o.canonical();
+    }
+};
+
+/** Convenience builders used by the bench binaries. */
+ExperimentSpec soloSpec(const std::string &app, unsigned threads,
+                        unsigned ways, double scale,
+                        bool prefetch_all = true);
+ExperimentSpec pairSpec(const std::string &fg, const std::string &bg,
+                        double scale, unsigned fg_mask_ways = 0,
+                        bool bg_continuous = true);
+ExperimentSpec consolidationSpec(const std::string &fg,
+                                 const std::string &bg, unsigned policies,
+                                 double scale, double perf_window = 0.0);
+
+} // namespace capart::exec
+
+#endif // CAPART_EXEC_EXPERIMENT_SPEC_HH

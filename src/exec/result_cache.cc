@@ -1,0 +1,191 @@
+#include "exec/result_cache.hh"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace capart::exec
+{
+namespace
+{
+
+constexpr const char *kHeader = "# capart-sweep-cache v1";
+
+std::string
+hexDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+ResultCache::encode(const SweepResult &res)
+{
+    std::string s;
+    s += hexDouble(res.time);
+    s += ' ';
+    s += hexDouble(res.socketEnergy);
+    s += ' ';
+    s += hexDouble(res.wallEnergy);
+    s += ' ';
+    s += hexDouble(res.mpki);
+    s += ' ';
+    s += hexDouble(res.apki);
+    s += ' ';
+    s += hexDouble(res.ipc);
+    s += ' ';
+    s += hexDouble(res.bgThroughput);
+    s += ' ';
+    s += res.timedOut ? '1' : '0';
+    for (const PolicyOutcome &p : res.policy) {
+        s += ' ';
+        s += p.present ? '1' : '0';
+        s += ' ';
+        s += hexDouble(p.fgSlowdown);
+        s += ' ';
+        s += hexDouble(p.bgThroughput);
+        s += ' ';
+        s += hexDouble(p.energyVsSequential);
+        s += ' ';
+        s += hexDouble(p.wallEnergyVsSequential);
+        s += ' ';
+        s += hexDouble(p.weightedSpeedup);
+        s += ' ';
+        s += std::to_string(p.fgWays);
+    }
+    return s;
+}
+
+bool
+ResultCache::decode(const std::string &body, SweepResult *out)
+{
+    // Tokenize, then parse doubles with strtod: stream extraction of
+    // hexfloat is implementation-defined, strtod is guaranteed.
+    std::istringstream in(body);
+    std::string tok;
+    const auto next_double = [&](double *v) {
+        if (!(in >> tok))
+            return false;
+        char *end = nullptr;
+        *v = std::strtod(tok.c_str(), &end);
+        return end != tok.c_str() && *end == '\0';
+    };
+    const auto next_uint = [&](unsigned *v) {
+        unsigned long parsed = 0;
+        if (!(in >> tok))
+            return false;
+        char *end = nullptr;
+        parsed = std::strtoul(tok.c_str(), &end, 10);
+        if (end == tok.c_str() || *end != '\0')
+            return false;
+        *v = static_cast<unsigned>(parsed);
+        return true;
+    };
+
+    SweepResult r;
+    unsigned timed_out = 0;
+    if (!next_double(&r.time) || !next_double(&r.socketEnergy) ||
+        !next_double(&r.wallEnergy) || !next_double(&r.mpki) ||
+        !next_double(&r.apki) || !next_double(&r.ipc) ||
+        !next_double(&r.bgThroughput) || !next_uint(&timed_out))
+        return false;
+    r.timedOut = timed_out != 0;
+    for (PolicyOutcome &p : r.policy) {
+        unsigned present = 0;
+        if (!next_uint(&present) || !next_double(&p.fgSlowdown) ||
+            !next_double(&p.bgThroughput) ||
+            !next_double(&p.energyVsSequential) ||
+            !next_double(&p.wallEnergyVsSequential) ||
+            !next_double(&p.weightedSpeedup) || !next_uint(&p.fgWays))
+            return false;
+        p.present = present != 0;
+    }
+    r.fromCache = true;
+    *out = r;
+    return true;
+}
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path))
+{
+    std::ifstream in(path_);
+    if (!in)
+        return;
+    std::string line;
+    if (!std::getline(in, line) || line != kHeader) {
+        capart_warn("ignoring incompatible sweep cache " << path_);
+        return;
+    }
+    fileCompatible_ = true;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t sep = line.find(' ');
+        if (sep == std::string::npos)
+            continue;
+        std::uint64_t key = 0;
+        if (std::sscanf(line.c_str(), "%" SCNx64, &key) != 1)
+            continue;
+        SweepResult res;
+        // Tolerate truncated final lines from an interrupted run.
+        if (decode(line.substr(sep + 1), &res))
+            entries_.emplace(key, res);
+    }
+}
+
+bool
+ResultCache::lookup(std::uint64_t key, SweepResult *out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    *out = it->second;
+    out->fromCache = true;
+    return true;
+}
+
+void
+ResultCache::store(std::uint64_t key, const SweepResult &res)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[key] = res;
+
+    const bool append = fileCompatible_;
+    std::ofstream out(path_, append ? std::ios::app : std::ios::trunc);
+    if (!out) {
+        capart_warn("cannot write sweep cache " << path_);
+        return;
+    }
+    if (!append) {
+        out << kHeader << '\n';
+        fileCompatible_ = true;
+        // Rewrite everything we know (covers the foreign-file case).
+        for (const auto &[k, v] : entries_) {
+            char keybuf[20];
+            std::snprintf(keybuf, sizeof(keybuf), "%016" PRIx64, k);
+            out << keybuf << ' ' << encode(v) << '\n';
+        }
+        out.flush();
+        return;
+    }
+    char keybuf[20];
+    std::snprintf(keybuf, sizeof(keybuf), "%016" PRIx64, key);
+    out << keybuf << ' ' << encode(res) << '\n';
+    out.flush();
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace capart::exec

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * On-disk memoization of sweep results.
+ *
+ * A cache is one append-only text file: a version header followed by
+ * one record per completed sweep point, keyed by the point's derived
+ * seed (`mixSeed(base_seed, spec.hash())`). Doubles are stored as
+ * hexfloat so a cache hit round-trips bit-exactly — cached and freshly
+ * computed sweeps produce byte-identical bench output. Records are
+ * flushed as they complete, so a sweep killed mid-flight resumes from
+ * its last finished point. Unreadable or version-mismatched files are
+ * ignored wholesale (recompute beats wrong reuse).
+ */
+
+#ifndef CAPART_EXEC_RESULT_CACHE_HH
+#define CAPART_EXEC_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "exec/sweep_runner.hh"
+
+namespace capart::exec
+{
+
+/** Thread-safe, write-through result store; see file comment. */
+class ResultCache
+{
+  public:
+    /** Opens @p path, loading any compatible existing records. */
+    explicit ResultCache(std::string path);
+
+    /** True and fills @p out if @p key has a stored result. */
+    bool lookup(std::uint64_t key, SweepResult *out) const;
+
+    /** Record @p res under @p key and flush it to disk. */
+    void store(std::uint64_t key, const SweepResult &res);
+
+    std::size_t size() const;
+    const std::string &path() const { return path_; }
+
+    /** Serialize / parse one record body (exposed for tests). */
+    static std::string encode(const SweepResult &res);
+    static bool decode(const std::string &body, SweepResult *out);
+
+  private:
+    std::string path_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, SweepResult> entries_;
+    /** File had our header (append) vs. absent/foreign (rewrite). */
+    bool fileCompatible_ = false;
+};
+
+} // namespace capart::exec
+
+#endif // CAPART_EXEC_RESULT_CACHE_HH

@@ -1,0 +1,163 @@
+#include "exec/sweep_runner.hh"
+
+#include <memory>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/co_scheduler.hh"
+#include "exec/result_cache.hh"
+#include "exec/thread_pool.hh"
+#include "sim/experiment.hh"
+#include "workload/catalog.hh"
+
+namespace capart::exec
+{
+
+std::uint64_t
+specCacheKey(const ExperimentSpec &spec, std::uint64_t base_seed)
+{
+    return mixSeed(base_seed, spec.hash());
+}
+
+SweepResult
+runSpec(const ExperimentSpec &spec, std::uint64_t base_seed)
+{
+    const std::uint64_t seed = mixSeed(base_seed, spec.hash());
+    SweepResult out;
+
+    switch (spec.kind) {
+      case SpecKind::Solo: {
+        SoloOptions o;
+        o.threads = spec.threads;
+        o.ways = spec.ways;
+        o.scale = spec.scale;
+        o.system.seed = seed;
+        o.system.prefetch = PrefetchConfig::allEnabled(spec.prefetchAll);
+        if (spec.perfWindow > 0.0)
+            o.system.perfWindow = spec.perfWindow;
+        const SoloResult r = runSolo(Catalog::byName(spec.fg), o);
+        out.time = r.time;
+        out.socketEnergy = r.socketEnergy;
+        out.wallEnergy = r.wallEnergy;
+        out.mpki = r.app.mpki();
+        out.apki = r.app.apki();
+        out.ipc = r.app.ipc();
+        out.timedOut = r.timedOut;
+        break;
+      }
+      case SpecKind::Pair: {
+        PairOptions o;
+        o.fgThreads = spec.threads;
+        o.bgThreads = spec.threads;
+        o.bgContinuous = spec.bgContinuous;
+        o.scale = spec.scale;
+        o.system.seed = seed;
+        if (spec.perfWindow > 0.0)
+            o.system.perfWindow = spec.perfWindow;
+        if (spec.fgMaskWays > 0) {
+            const SplitMasks m = splitWays(
+                spec.fgMaskWays, SystemConfig{}.hierarchy.llc.ways);
+            o.fgMask = m.fg;
+            o.bgMask = m.bg;
+        }
+        const PairResult r =
+            runPair(Catalog::byName(spec.fg), Catalog::byName(spec.bg), o);
+        out.time = r.fgTime;
+        out.bgThroughput = r.bgThroughput;
+        out.socketEnergy = r.socketEnergy;
+        out.wallEnergy = r.wallEnergy;
+        out.mpki = r.fg.mpki();
+        out.apki = r.fg.apki();
+        out.ipc = r.fg.ipc();
+        out.timedOut = r.timedOut;
+        break;
+      }
+      case SpecKind::Consolidation: {
+        capart_assert(spec.policies != 0);
+        CoScheduleOptions co;
+        co.threadsEach = spec.threads;
+        co.scale = spec.scale;
+        co.system.seed = seed;
+        if (spec.perfWindow > 0.0)
+            co.system.perfWindow = spec.perfWindow;
+        CoScheduler cs(Catalog::byName(spec.fg),
+                       Catalog::byName(spec.bg), co);
+        for (const Policy p : {Policy::Shared, Policy::Fair,
+                               Policy::Biased, Policy::Dynamic}) {
+            if (!(spec.policies & policyBit(p)))
+                continue;
+            const ConsolidationSummary s = cs.summarize(p);
+            PolicyOutcome &po = out.policy[static_cast<int>(p)];
+            po.present = true;
+            po.fgSlowdown = s.fgSlowdown;
+            po.bgThroughput = s.bgThroughput;
+            po.energyVsSequential = s.energyVsSequential;
+            po.wallEnergyVsSequential = s.wallEnergyVsSequential;
+            po.weightedSpeedup = s.weightedSpeedup;
+            po.fgWays = s.fgWays;
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+SweepRunner::SweepRunner(SweepRunnerOptions opts) : opts_(std::move(opts))
+{
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<ExperimentSpec> &specs)
+{
+    std::vector<SweepResult> results(specs.size());
+
+    std::unique_ptr<ResultCache> cache;
+    if (!opts_.cachePath.empty())
+        cache = std::make_unique<ResultCache>(opts_.cachePath);
+
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+    const auto report = [&] {
+        // Caller holds progress_mutex.
+        ++done;
+        if (opts_.progress)
+            opts_.progress(done, specs.size());
+    };
+
+    // Resolve cache hits up front; collect the points still to compute.
+    std::vector<std::size_t> todo;
+    todo.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const std::uint64_t key = specCacheKey(specs[i], opts_.baseSeed);
+        if (cache && cache->lookup(key, &results[i])) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            report();
+        } else {
+            todo.push_back(i);
+        }
+    }
+
+    const auto compute = [&](std::size_t i) {
+        const SweepResult r = runSpec(specs[i], opts_.baseSeed);
+        if (cache)
+            cache->store(specCacheKey(specs[i], opts_.baseSeed), r);
+        results[i] = r;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        report();
+    };
+
+    if (opts_.jobs <= 1) {
+        for (const std::size_t i : todo)
+            compute(i);
+        return results;
+    }
+
+    ThreadPool pool(opts_.jobs);
+    for (const std::size_t i : todo)
+        pool.submit([&compute, i] { compute(i); });
+    pool.wait();
+    return results;
+}
+
+} // namespace capart::exec

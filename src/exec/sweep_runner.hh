@@ -1,0 +1,113 @@
+/**
+ * @file
+ * SweepRunner: deterministic parallel execution of experiment specs.
+ *
+ * The runner fans a vector of @ref ExperimentSpec out across a
+ * work-stealing @ref ThreadPool and returns results in submission
+ * order. Every run's RNG seed is `mixSeed(base_seed, spec.hash())` —
+ * a function of the spec, not of scheduling — so output is
+ * bit-identical for any `--jobs` value. An optional on-disk
+ * @ref ResultCache memoizes completed points (keyed by the same
+ * derived seed), making interrupted sweeps resumable and repeat runs
+ * nearly free.
+ */
+
+#ifndef CAPART_EXEC_SWEEP_RUNNER_HH
+#define CAPART_EXEC_SWEEP_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/experiment_spec.hh"
+
+namespace capart::exec
+{
+
+/** Per-policy metrics of a Consolidation spec (CoScheduler summary). */
+struct PolicyOutcome
+{
+    /** False when the spec did not request this policy. */
+    bool present = false;
+    double fgSlowdown = 1.0;
+    double bgThroughput = 0.0;
+    double energyVsSequential = 1.0;
+    double wallEnergyVsSequential = 1.0;
+    double weightedSpeedup = 1.0;
+    unsigned fgWays = 0;
+};
+
+/** Flat, serializable outcome of one spec. */
+struct SweepResult
+{
+    /** Solo: makespan. Pair: foreground completion time. */
+    double time = 0.0;
+    double socketEnergy = 0.0;
+    double wallEnergy = 0.0;
+    double mpki = 0.0;
+    double apki = 0.0;
+    double ipc = 0.0;
+    /** Pair only: background instructions/second during the fg run. */
+    double bgThroughput = 0.0;
+    bool timedOut = false;
+    /** Consolidation only; indexed by static_cast<int>(Policy). */
+    PolicyOutcome policy[4];
+
+    /** True when this result came from the memoization cache (not
+     *  serialized; diagnostic only). */
+    bool fromCache = false;
+};
+
+/**
+ * Execute one spec with the seed derived from (@p base_seed, spec).
+ * This is the single entry point every sweep point goes through; it is
+ * a pure function of its arguments (no global state), which the
+ * determinism tests in tests/test_exec.cc enforce.
+ */
+SweepResult runSpec(const ExperimentSpec &spec, std::uint64_t base_seed);
+
+/** Memoization key of (@p base_seed, @p spec): the derived seed. */
+std::uint64_t specCacheKey(const ExperimentSpec &spec,
+                           std::uint64_t base_seed);
+
+/** Configuration of a @ref SweepRunner. */
+struct SweepRunnerOptions
+{
+    /** Worker threads; <= 1 runs inline on the calling thread. */
+    unsigned jobs = 1;
+    /** Base seed mixed into every spec's derived seed. */
+    std::uint64_t baseSeed = 12345;
+    /** Path of the memoization cache file; empty disables caching. */
+    std::string cachePath;
+    /**
+     * Called after each completed spec with (done, total). Invoked
+     * under a lock, possibly from worker threads; completion order is
+     * nondeterministic under --jobs > 1 (results are not).
+     */
+    std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/** Fans specs across a thread pool; results in submission order. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepRunnerOptions opts);
+
+    /**
+     * Run every spec and return results[i] for specs[i]. Cached points
+     * are returned without re-execution (marked fromCache); newly
+     * computed points are appended to the cache as they complete, so
+     * an interrupted sweep resumes where it stopped.
+     */
+    std::vector<SweepResult> run(const std::vector<ExperimentSpec> &specs);
+
+    const SweepRunnerOptions &options() const { return opts_; }
+
+  private:
+    SweepRunnerOptions opts_;
+};
+
+} // namespace capart::exec
+
+#endif // CAPART_EXEC_SWEEP_RUNNER_HH

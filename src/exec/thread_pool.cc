@@ -1,0 +1,138 @@
+#include "exec/thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace capart::exec
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    queues_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    try {
+        wait();
+    } catch (...) {
+        // A task failed after the owner stopped listening; dropping the
+        // exception here is the least-bad option during unwinding.
+    }
+    {
+        std::lock_guard<std::mutex> lock(idleMutex_);
+        stop_ = true;
+    }
+    idleCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    capart_assert(task);
+    {
+        std::lock_guard<std::mutex> done(doneMutex_);
+        ++pending_;
+    }
+    {
+        std::lock_guard<std::mutex> idle(idleMutex_);
+        WorkerQueue &q = *queues_[nextQueue_];
+        nextQueue_ = (nextQueue_ + 1) % queues_.size();
+        std::lock_guard<std::mutex> qlock(q.mutex);
+        q.tasks.push_back(std::move(task));
+    }
+    idleCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(doneMutex_);
+    doneCv_.wait(lock, [this] { return pending_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+ThreadPool::Task
+ThreadPool::takeTask(std::size_t self)
+{
+    // Own queue first, newest-first: the task most likely still warm.
+    {
+        WorkerQueue &mine = *queues_[self];
+        std::lock_guard<std::mutex> lock(mine.mutex);
+        if (!mine.tasks.empty()) {
+            Task t = std::move(mine.tasks.back());
+            mine.tasks.pop_back();
+            return t;
+        }
+    }
+    // Steal oldest-first from siblings, scanning from our right
+    // neighbour so victims spread instead of all hitting queue 0.
+    for (std::size_t off = 1; off < queues_.size(); ++off) {
+        WorkerQueue &victim = *queues_[(self + off) % queues_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            Task t = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            return t;
+        }
+    }
+    return Task{};
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        Task task = takeTask(self);
+        if (!task) {
+            std::unique_lock<std::mutex> idle(idleMutex_);
+            if (stop_)
+                return;
+            // Re-check under the idle lock: a submit may have raced us.
+            idleCv_.wait(idle, [this, self] {
+                if (stop_)
+                    return true;
+                for (std::size_t off = 0; off < queues_.size(); ++off) {
+                    WorkerQueue &q = *queues_[(self + off) %
+                                              queues_.size()];
+                    std::lock_guard<std::mutex> lock(q.mutex);
+                    if (!q.tasks.empty())
+                        return true;
+                }
+                return false;
+            });
+            continue;
+        }
+
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(doneMutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(doneMutex_);
+            --pending_;
+            if (pending_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+} // namespace capart::exec

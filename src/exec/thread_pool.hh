@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A work-stealing thread pool for fanning experiment sweeps out across
+ * host cores.
+ *
+ * Each worker owns a deque: it pops its own work LIFO (cache-warm) and
+ * steals FIFO from siblings when empty, so large batches balance even
+ * when individual experiments differ by orders of magnitude in cost.
+ * Tasks are heavyweight (whole simulator runs), so per-deque mutexes —
+ * not lock-free deques — are the right complexity point.
+ *
+ * Determinism note: the pool makes no ordering promises. Reproducibility
+ * of sweeps is the job of @ref capart::exec::SweepRunner, which keys
+ * every run's RNG seed off the spec itself, never off execution order.
+ */
+
+#ifndef CAPART_EXEC_THREAD_POOL_HH
+#define CAPART_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace capart::exec
+{
+
+/** Work-stealing pool; see file comment for the design rationale. */
+class ThreadPool
+{
+  public:
+    /** Task type. Exceptions thrown by tasks surface in wait(). */
+    using Task = std::function<void()>;
+
+    /**
+     * Start @p workers threads (0 = one per hardware thread). The pool
+     * is usable immediately; destruction drains remaining work first.
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Drains outstanding work, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p task. Distribution is round-robin across worker
+     * deques; idle workers steal, so placement never strands work.
+     */
+    void submit(Task task);
+
+    /**
+     * Block until every task submitted so far has finished. If any
+     * task threw, rethrows the first captured exception (subsequent
+     * exceptions are dropped) and leaves the pool usable.
+     */
+    void wait();
+
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    /** One worker's deque; stealing takes the front, the owner the back. */
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(std::size_t self);
+
+    /** Pop from own queue (back) or steal (front); empty if none. */
+    Task takeTask(std::size_t self);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    /** Wakes idle workers on submit/stop. */
+    std::mutex idleMutex_;
+    std::condition_variable idleCv_;
+
+    /** Tracks in-flight + queued tasks; guards firstError_. */
+    std::mutex doneMutex_;
+    std::condition_variable doneCv_;
+    std::size_t pending_ = 0;
+    std::exception_ptr firstError_;
+
+    std::size_t nextQueue_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace capart::exec
+
+#endif // CAPART_EXEC_THREAD_POOL_HH

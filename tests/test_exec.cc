@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Tests for the parallel sweep infrastructure (src/exec): thread-pool
+ * lifecycle and failure behaviour, the spec-hash seeding scheme, the
+ * on-disk memoization cache, bit-identical results for any --jobs
+ * value, and the determinism audit — experiment results must be a
+ * function of the spec alone, never of iteration order or of earlier
+ * runs in the same process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hh"
+#include "exec/experiment_spec.hh"
+#include "exec/result_cache.hh"
+#include "exec/sweep_runner.hh"
+#include "exec/thread_pool.hh"
+#include "sim/experiment.hh"
+#include "workload/catalog.hh"
+
+namespace capart::exec
+{
+namespace
+{
+
+constexpr double kTestScale = 0.02;
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPool, StartsAndStopsIdle)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    // Destructor must not hang with zero submitted tasks.
+}
+
+TEST(ThreadPool, WaitOnEmptyPoolReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    pool.wait(); // idempotent
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, HugeBatchDoesNotDeadlock)
+{
+    // Far more tasks than workers, tiny bodies: exercises the
+    // steal/sleep/wake paths under contention.
+    ThreadPool pool(8);
+    std::atomic<std::uint64_t> sum{0};
+    constexpr int kTasks = 20000;
+    for (int i = 0; i < kTasks; ++i)
+        pool.submit([&sum, i] { sum += static_cast<std::uint64_t>(i); });
+    pool.wait();
+    EXPECT_EQ(sum.load(),
+              static_cast<std::uint64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionAndStaysUsable)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // The failure must not poison the pool.
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionInOneTaskDoesNotCancelOthers)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) {
+        if (i == 50)
+            pool.submit([] { throw std::runtime_error("mid-batch"); });
+        else
+            pool.submit([&count] { ++count; });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(count.load(), 99);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&count] { ++count; });
+        // No wait(): the destructor must drain before joining.
+    }
+    EXPECT_EQ(count.load(), 100);
+}
+
+// ------------------------------------------------------------- seeding
+
+TEST(Seeding, MixSeedIsDeterministicAndSensitive)
+{
+    EXPECT_EQ(mixSeed(12345, 777), mixSeed(12345, 777));
+    EXPECT_NE(mixSeed(12345, 777), mixSeed(12345, 778));
+    EXPECT_NE(mixSeed(12345, 777), mixSeed(12346, 777));
+    EXPECT_NE(mixSeed(0, 0), 0u);
+}
+
+TEST(Seeding, SpecHashCoversEveryField)
+{
+    const ExperimentSpec base = soloSpec("ferret", 4, 12, 0.05);
+    EXPECT_EQ(base.hash(), soloSpec("ferret", 4, 12, 0.05).hash());
+
+    ExperimentSpec m = base;
+    m.fg = "dedup";
+    EXPECT_NE(m.hash(), base.hash());
+    m = base;
+    m.threads = 2;
+    EXPECT_NE(m.hash(), base.hash());
+    m = base;
+    m.ways = 6;
+    EXPECT_NE(m.hash(), base.hash());
+    m = base;
+    m.prefetchAll = false;
+    EXPECT_NE(m.hash(), base.hash());
+    m = base;
+    m.scale = 0.06;
+    EXPECT_NE(m.hash(), base.hash());
+    m = base;
+    m.kind = SpecKind::Pair;
+    m.bg = "ferret";
+    EXPECT_NE(m.hash(), base.hash());
+    m = base;
+    m.perfWindow = 15e-6;
+    EXPECT_NE(m.hash(), base.hash());
+}
+
+// --------------------------------------------------------------- cache
+
+bool
+sameResult(const SweepResult &a, const SweepResult &b)
+{
+    if (a.time != b.time || a.socketEnergy != b.socketEnergy ||
+        a.wallEnergy != b.wallEnergy || a.mpki != b.mpki ||
+        a.apki != b.apki || a.ipc != b.ipc ||
+        a.bgThroughput != b.bgThroughput || a.timedOut != b.timedOut)
+        return false;
+    for (int p = 0; p < 4; ++p) {
+        const PolicyOutcome &x = a.policy[p];
+        const PolicyOutcome &y = b.policy[p];
+        if (x.present != y.present || x.fgSlowdown != y.fgSlowdown ||
+            x.bgThroughput != y.bgThroughput ||
+            x.energyVsSequential != y.energyVsSequential ||
+            x.wallEnergyVsSequential != y.wallEnergyVsSequential ||
+            x.weightedSpeedup != y.weightedSpeedup ||
+            x.fgWays != y.fgWays)
+            return false;
+    }
+    return true;
+}
+
+TEST(ResultCache, EncodeDecodeRoundTripsBitExactly)
+{
+    SweepResult r;
+    r.time = 0.123456789012345678;
+    r.socketEnergy = 1e-300;
+    r.wallEnergy = 3.14159e10;
+    r.mpki = 7.25;
+    r.apki = 0.0;
+    r.ipc = 1.0 / 3.0;
+    r.bgThroughput = 2.5e9;
+    r.timedOut = true;
+    r.policy[2].present = true;
+    r.policy[2].fgSlowdown = 1.0 + 1e-15;
+    r.policy[2].weightedSpeedup = 1.9999999999999998;
+    r.policy[2].fgWays = 9;
+
+    SweepResult back;
+    ASSERT_TRUE(ResultCache::decode(ResultCache::encode(r), &back));
+    EXPECT_TRUE(sameResult(r, back));
+    EXPECT_TRUE(back.fromCache);
+}
+
+TEST(ResultCache, RejectsTruncatedRecords)
+{
+    SweepResult r;
+    const std::string body = ResultCache::encode(r);
+    SweepResult out;
+    EXPECT_TRUE(ResultCache::decode(body, &out));
+    EXPECT_FALSE(
+        ResultCache::decode(body.substr(0, body.size() / 2), &out));
+    EXPECT_FALSE(ResultCache::decode("", &out));
+}
+
+TEST(ResultCache, PersistsAcrossInstances)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "capart_cache_test")
+            .string();
+    std::remove(path.c_str());
+
+    SweepResult r;
+    r.time = 42.5;
+    r.policy[0].present = true;
+    r.policy[0].fgSlowdown = 1.0625;
+    {
+        ResultCache cache(path);
+        EXPECT_EQ(cache.size(), 0u);
+        cache.store(0xdeadbeefULL, r);
+    }
+    {
+        ResultCache cache(path);
+        EXPECT_EQ(cache.size(), 1u);
+        SweepResult out;
+        ASSERT_TRUE(cache.lookup(0xdeadbeefULL, &out));
+        EXPECT_TRUE(sameResult(r, out));
+        EXPECT_FALSE(cache.lookup(0x1234ULL, &out));
+    }
+    std::remove(path.c_str());
+}
+
+// -------------------------------------------------- runner determinism
+
+std::vector<ExperimentSpec>
+representativePairSweep()
+{
+    // A small but representative sweep: solos, shared pairs, and a
+    // partitioned pair over three of the Table 3 representatives.
+    const std::vector<std::string> apps = {"429.mcf", "ferret", "dedup"};
+    std::vector<ExperimentSpec> specs;
+    for (const auto &a : apps)
+        specs.push_back(soloSpec(a, 4, 12, kTestScale));
+    for (const auto &fg : apps)
+        for (const auto &bg : apps)
+            specs.push_back(pairSpec(fg, bg, kTestScale));
+    specs.push_back(pairSpec("429.mcf", "ferret", kTestScale,
+                             /*fg_mask_ways=*/8));
+    return specs;
+}
+
+TEST(SweepRunner, ResultsBitIdenticalForAnyJobCount)
+{
+    const std::vector<ExperimentSpec> specs = representativePairSweep();
+
+    std::vector<std::vector<SweepResult>> outcomes;
+    for (const unsigned jobs : {1u, 2u, 8u}) {
+        SweepRunnerOptions o;
+        o.jobs = jobs;
+        o.baseSeed = 12345;
+        outcomes.push_back(SweepRunner(o).run(specs));
+    }
+    ASSERT_EQ(outcomes[0].size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_TRUE(sameResult(outcomes[0][i], outcomes[1][i]))
+            << "--jobs=2 diverged at spec " << i;
+        EXPECT_TRUE(sameResult(outcomes[0][i], outcomes[2][i]))
+            << "--jobs=8 diverged at spec " << i;
+    }
+}
+
+TEST(SweepRunner, BaseSeedChangesResults)
+{
+    const ExperimentSpec spec = soloSpec("canneal", 4, 12, kTestScale);
+    const SweepResult a = runSpec(spec, 12345);
+    const SweepResult b = runSpec(spec, 54321);
+    EXPECT_NE(a.time, b.time);
+}
+
+TEST(SweepRunner, ProgressReachesTotal)
+{
+    const std::vector<ExperimentSpec> specs = {
+        soloSpec("ferret", 4, 12, kTestScale),
+        soloSpec("dedup", 4, 12, kTestScale),
+    };
+    std::size_t last_done = 0, last_total = 0;
+    SweepRunnerOptions o;
+    o.jobs = 2;
+    o.progress = [&](std::size_t done, std::size_t total) {
+        last_done = done;
+        last_total = total;
+    };
+    SweepRunner(o).run(specs);
+    EXPECT_EQ(last_done, 2u);
+    EXPECT_EQ(last_total, 2u);
+}
+
+TEST(SweepRunner, CacheSkipsCompletedPointsBitExactly)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "capart_sweep_cache")
+            .string();
+    std::remove(path.c_str());
+
+    const std::vector<ExperimentSpec> specs = representativePairSweep();
+    SweepRunnerOptions o;
+    o.jobs = 2;
+    o.cachePath = path;
+    const std::vector<SweepResult> fresh = SweepRunner(o).run(specs);
+    const std::vector<SweepResult> cached = SweepRunner(o).run(specs);
+
+    ASSERT_EQ(fresh.size(), cached.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_FALSE(fresh[i].fromCache) << i;
+        EXPECT_TRUE(cached[i].fromCache) << i;
+        EXPECT_TRUE(sameResult(fresh[i], cached[i])) << i;
+    }
+
+    // A different base seed must not hit the same cache entries.
+    SweepRunnerOptions other = o;
+    other.baseSeed = 99999;
+    const std::vector<SweepResult> reseeded =
+        SweepRunner(other).run(specs);
+    EXPECT_FALSE(reseeded[0].fromCache);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------- determinism audit
+//
+// The regression suite is only trustworthy if runSolo/runPair results
+// depend on nothing but their arguments: not on catalog iteration
+// order, not on what ran earlier in the process. These tests pin that.
+
+SoloResult
+soloOf(const std::string &name)
+{
+    SoloOptions o;
+    o.threads = 4;
+    o.scale = kTestScale;
+    return runSolo(Catalog::byName(name), o);
+}
+
+PairResult
+pairOf(const std::string &fg, const std::string &bg)
+{
+    PairOptions o;
+    o.scale = kTestScale;
+    return runPair(Catalog::byName(fg), Catalog::byName(bg), o);
+}
+
+TEST(DeterminismAudit, SoloInvariantToCatalogIterationOrder)
+{
+    // Forward pass over a slice of the catalog...
+    const std::vector<std::string> names = {"429.mcf", "ferret",
+                                            "dedup", "canneal"};
+    std::vector<SoloResult> forward;
+    for (const auto &n : names)
+        forward.push_back(soloOf(n));
+    // ...then the same apps visited in reverse.
+    std::vector<SoloResult> reverse;
+    for (auto it = names.rbegin(); it != names.rend(); ++it)
+        reverse.push_back(soloOf(*it));
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const SoloResult &f = forward[i];
+        const SoloResult &r = reverse[names.size() - 1 - i];
+        EXPECT_EQ(f.time, r.time) << names[i];
+        EXPECT_EQ(f.app.llcMisses, r.app.llcMisses) << names[i];
+        EXPECT_EQ(f.socketEnergy, r.socketEnergy) << names[i];
+        EXPECT_EQ(f.wallEnergy, r.wallEnergy) << names[i];
+    }
+}
+
+TEST(DeterminismAudit, PairInvariantToPriorRunsInProcess)
+{
+    const PairResult before = pairOf("429.mcf", "ferret");
+
+    // Pollute the process with unrelated work: different apps, masks,
+    // policies, scales.
+    soloOf("canneal");
+    pairOf("dedup", "429.mcf");
+    {
+        PairOptions o;
+        o.scale = kTestScale;
+        const SplitMasks m = splitWays(3, 12);
+        o.fgMask = m.fg;
+        o.bgMask = m.bg;
+        runPair(Catalog::byName("ferret"), Catalog::byName("dedup"), o);
+    }
+
+    const PairResult after = pairOf("429.mcf", "ferret");
+    EXPECT_EQ(before.fgTime, after.fgTime);
+    EXPECT_EQ(before.bgThroughput, after.bgThroughput);
+    EXPECT_EQ(before.socketEnergy, after.socketEnergy);
+    EXPECT_EQ(before.fg.llcMisses, after.fg.llcMisses);
+    EXPECT_EQ(before.bg.iterations, after.bg.iterations);
+}
+
+TEST(DeterminismAudit, RunSpecInvariantToPriorSpecs)
+{
+    const ExperimentSpec probe =
+        pairSpec("429.mcf", "ferret", kTestScale);
+    const SweepResult fresh = runSpec(probe, 12345);
+
+    // Interleave every spec kind, including a consolidation study that
+    // exercises the dynamic controller's internal state.
+    runSpec(soloSpec("canneal", 4, 6, kTestScale), 12345);
+    runSpec(consolidationSpec("ferret", "dedup",
+                              policyBit(Policy::Shared) |
+                                  policyBit(Policy::Dynamic),
+                              kTestScale, 15e-6),
+            12345);
+
+    const SweepResult again = runSpec(probe, 12345);
+    EXPECT_TRUE(sameResult(fresh, again));
+}
+
+} // namespace
+} // namespace capart::exec
