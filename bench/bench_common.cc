@@ -4,9 +4,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <thread>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "workload/catalog.hh"
 
 namespace capart::bench
@@ -15,6 +18,58 @@ namespace capart::bench
 namespace
 {
 constexpr const char *kDefaultCacheDir = ".capart-cache";
+
+/**
+ * Export destinations for the observability layer, written from an
+ * atexit handler so every bench binary gets --metrics-out/--trace-out
+ * without touching its main(). Failures go to stderr: the figure on
+ * stdout must never change shape because a side file was unwritable.
+ */
+std::string gMetricsOut;  // NOLINT(cert-err58-cpp)
+std::string gTraceOut;    // NOLINT(cert-err58-cpp)
+
+void
+exportObsFiles()
+{
+    if (!gMetricsOut.empty()) {
+        std::ofstream out(gMetricsOut);
+        if (out)
+            obs::metrics().writeJson(out);
+        else
+            std::fprintf(stderr, "capart: cannot write --metrics-out=%s\n",
+                         gMetricsOut.c_str());
+    }
+    if (!gTraceOut.empty()) {
+        std::ofstream out(gTraceOut);
+        if (out)
+            obs::tracer().writeChromeTrace(out);
+        else
+            std::fprintf(stderr, "capart: cannot write --trace-out=%s\n",
+                         gTraceOut.c_str());
+    }
+}
+
+void
+enableObsExport()
+{
+    static bool registered = false;
+    if (!registered) {
+        registered = true;
+        // Touch the globals before registering the handler: function
+        // statics are destroyed in reverse construction order, so
+        // constructing them first guarantees they outlive the atexit
+        // exporter.
+        obs::metrics();
+        obs::tracer();
+        std::atexit(exportObsFiles);
+    }
+    if (!obs::kCompiledIn) {
+        std::fprintf(stderr,
+                     "capart: observability compiled out (CAPART_OBS=OFF); "
+                     "--metrics-out/--trace-out will record nothing\n");
+    }
+    obs::setEnabled(true);
+}
 } // namespace
 
 BenchOptions
@@ -45,10 +100,19 @@ parseArgs(int argc, char **argv, double default_scale,
         } else if (arg.rfind("--cache-dir=", 0) == 0) {
             opts.cacheDir = arg.substr(12);
             opts.resume = true;
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            opts.metricsOut = arg.substr(14);
+            gMetricsOut = opts.metricsOut;
+            enableObsExport();
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            opts.traceOut = arg.substr(12);
+            gTraceOut = opts.traceOut;
+            enableObsExport();
         } else {
             std::printf("%s\n\nusage: %s [--scale=F] [--csv] [--quick] "
                         "[--seed=N] [--jobs=N] [--resume] "
-                        "[--cache-dir=D]\n"
+                        "[--cache-dir=D] [--metrics-out=F] "
+                        "[--trace-out=F]\n"
                         "  --scale=F    app instruction-count scale "
                         "(default %.3g)\n"
                         "  --csv        machine-readable output\n"
@@ -61,7 +125,14 @@ parseArgs(int argc, char **argv, double default_scale,
                         "%s/\n"
                         "               and skip them on re-runs\n"
                         "  --cache-dir=D  --resume with cache files "
-                        "under D\n",
+                        "under D\n"
+                        "  --metrics-out=F  write observability counters/"
+                        "gauges/histograms\n"
+                        "               to F as JSON on exit\n"
+                        "  --trace-out=F  write a Chrome trace_event "
+                        "JSON timeline to F\n"
+                        "               on exit (open in Perfetto or "
+                        "about:tracing)\n",
                         description, argv[0], default_scale,
                         kDefaultCacheDir);
             std::exit(arg == "--help" ? 0 : 1);

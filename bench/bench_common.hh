@@ -39,12 +39,20 @@ struct BenchOptions
     bool resume = false;
     /** Cache directory for --resume (default .capart-cache/). */
     std::string cacheDir;
+    /** Write the obs metrics registry here as JSON on exit ("" = off). */
+    std::string metricsOut;
+    /** Write a Chrome trace_event JSON file here on exit ("" = off). */
+    std::string traceOut;
 };
 
 /**
  * Parse --scale=X, --csv, --quick, --seed=N, --jobs=N, --resume,
- * --cache-dir=D; prints usage and exits on --help or unknown
- * arguments. @p default_scale seeds opts.scale.
+ * --cache-dir=D, --metrics-out=F, --trace-out=F; prints usage and
+ * exits on --help or unknown arguments. @p default_scale seeds
+ * opts.scale. Passing --metrics-out or --trace-out enables the
+ * observability layer for the run and registers an atexit hook that
+ * writes the file(s); stdout (the table/CSV) is never touched, so
+ * golden outputs stay byte-identical.
  */
 BenchOptions parseArgs(int argc, char **argv, double default_scale,
                        const char *description);

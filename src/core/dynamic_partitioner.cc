@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/experiment.hh"
 
 namespace capart
@@ -77,12 +79,28 @@ DynamicPartitioner::apply(System &sys, unsigned fg_ways)
     capart_assert(fg_ways < total);
     const SplitMasks masks = splitWays(fg_ways, total);
     ++remaskAttempts_;
+    if (obs::enabled())
+        obs::metrics().counter("partitioner.remask_attempts").inc();
     if (!remasker_->apply(sys, fg_, bgs_, masks)) {
         ++remaskFailures_;
+        if (obs::enabled()) {
+            obs::metrics().counter("partitioner.remask_failures").inc();
+            obs::tracer().instant(
+                "remask.fail", "partition", sys.now() * 1e6,
+                {{"fg_ways", static_cast<double>(fg_ways)}});
+        }
         return false;
     }
     if (fg_ways != fgWays_ || !installed_)
         ++reallocations_;
+    if (obs::enabled()) {
+        obs::tracer().instant(
+            "remask", "partition", sys.now() * 1e6,
+            {{"fg_ways", static_cast<double>(fg_ways)},
+             {"prev_fg_ways", static_cast<double>(fgWays_)}});
+        obs::metrics().gauge("partitioner.fg_ways")
+            .set(static_cast<double>(fg_ways));
+    }
     fgWays_ = fg_ways;
     installed_ = true;
     return true;
@@ -178,6 +196,13 @@ DynamicPartitioner::enterFallback(System &sys, unsigned count,
     healthyStreak_ = 0;
     phaseStarts_ = false;
     pushHealth(sys, HealthEventKind::FallbackEntered, count);
+    if (obs::enabled()) {
+        obs::metrics().counter("partitioner.watchdog_fallbacks").inc();
+        obs::tracer().instant(
+            "watchdog.fallback", "partition", sys.now() * 1e6,
+            {{"consecutive_failures", static_cast<double>(count)},
+             {"remask_cause", remask_cause ? 1.0 : 0.0}});
+    }
     capart_warn("dynamic partitioner: watchdog tripped after "
                 << count << " consecutive failures; falling back to "
                 "fair " << fair << "/" << (total - fair) << " split");
@@ -195,6 +220,11 @@ DynamicPartitioner::resumeDynamic(System &sys)
     haveLast_ = false;
     detector_.reset();
     pushHealth(sys, HealthEventKind::DynamicResumed, 0);
+    if (obs::enabled()) {
+        obs::metrics().counter("partitioner.watchdog_recoveries").inc();
+        obs::tracer().instant("watchdog.resume", "partition",
+                              sys.now() * 1e6);
+    }
     // Re-probe from the top, as on a phase start (§6.3). If the
     // fallback was remask-caused, this first write is a probe of the
     // control plane: its failure re-trips the watchdog immediately.
@@ -279,6 +309,13 @@ DynamicPartitioner::onWindow(System &sys, AppId app, const PerfWindow &w)
         ++badTelemetry_;
         healthyStreak_ = 0;
         pushHealth(sys, HealthEventKind::SampleRejected, badTelemetry_);
+        if (obs::enabled()) {
+            obs::metrics().counter("partitioner.samples_rejected").inc();
+            obs::tracer().instant(
+                "sample.rejected", "partition", sys.now() * 1e6,
+                {{"mpki", w.mpki},
+                 {"outlier", verdict == Sample::Outlier ? 1.0 : 0.0}});
+        }
         if (mode_ == ControlMode::Dynamic &&
             badTelemetry_ >= cfg_.watchdogThreshold)
             enterFallback(sys, badTelemetry_, false);
@@ -322,6 +359,13 @@ DynamicPartitioner::onWindow(System &sys, AppId app, const PerfWindow &w)
     } else if (ev == PhaseEvent::NewPhase) {
         // A new phase begins: give the foreground everything we can,
         // then probe downward from there (Algorithm 6.2).
+        if (obs::enabled()) {
+            obs::metrics().counter("partitioner.phase_changes").inc();
+            obs::tracer().instant(
+                "phase.change", "partition", sys.now() * 1e6,
+                {{"mpki", mpki},
+                 {"fg_ways", static_cast<double>(fgWays_)}});
+        }
         phaseStarts_ = true;
         requestWays(sys, cfg_.maxFgWays);
     } else if (ev == PhaseEvent::Stable && phaseStarts_) {
@@ -344,6 +388,11 @@ DynamicPartitioner::onWindow(System &sys, AppId app, const PerfWindow &w)
             if (fgWays_ < cfg_.maxFgWays)
                 requestWays(sys, fgWays_ + 1);
             phaseStarts_ = false;
+            if (obs::enabled()) {
+                obs::tracer().instant(
+                    "phase.settled", "partition", sys.now() * 1e6,
+                    {{"fg_ways", static_cast<double>(fgWays_)}});
+            }
         }
     }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hh"
+
 namespace capart
 {
 
@@ -16,6 +18,13 @@ PhaseDetector::relativeDelta(double current) const
 PhaseEvent
 PhaseDetector::step(double current_mpki)
 {
+    if (obs::enabled()) {
+        // Cached references: the registry lookup runs once, increments
+        // are single relaxed atomic adds (see obs/metrics.hh).
+        static obs::Counter &samples =
+            obs::metrics().counter("phase_detector.samples");
+        samples.inc();
+    }
     if (!haveAvg_) {
         // First sample bootstraps the phase average.
         haveAvg_ = true;
@@ -28,6 +37,11 @@ PhaseDetector::step(double current_mpki)
         if (relativeDelta(current_mpki) > cfg_.thr1) {
             newPhase_ = true;
             ++changes_;
+            if (obs::enabled()) {
+                static obs::Counter &phases =
+                    obs::metrics().counter("phase_detector.changes");
+                phases.inc();
+            }
             // The new phase's average restarts from the new level.
             avg_ = current_mpki;
             samplesInPhase_ = 1;

@@ -6,8 +6,11 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "core/co_scheduler.hh"
+#include "core/static_policies.hh"
 #include "exec/result_cache.hh"
 #include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/experiment.hh"
 #include "workload/catalog.hh"
 
@@ -87,6 +90,7 @@ runSpec(const ExperimentSpec &spec, std::uint64_t base_seed)
                                Policy::Biased, Policy::Dynamic}) {
             if (!(spec.policies & policyBit(p)))
                 continue;
+            obs::TraceSpan policy_span(policyName(p), "sweep");
             const ConsolidationSummary s = cs.summarize(p);
             PolicyOutcome &po = out.policy[static_cast<int>(p)];
             po.present = true;
@@ -131,6 +135,8 @@ SweepRunner::run(const std::vector<ExperimentSpec> &specs)
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const std::uint64_t key = specCacheKey(specs[i], opts_.baseSeed);
         if (cache && cache->lookup(key, &results[i])) {
+            if (obs::enabled())
+                obs::metrics().counter("exec.cache_hits").inc();
             std::lock_guard<std::mutex> lock(progress_mutex);
             report();
         } else {
@@ -139,6 +145,10 @@ SweepRunner::run(const std::vector<ExperimentSpec> &specs)
     }
 
     const auto compute = [&](std::size_t i) {
+        obs::TraceSpan point_span("sweep.point", "sweep",
+                                  {{"index", static_cast<double>(i)}});
+        if (obs::enabled())
+            obs::metrics().counter("exec.points_computed").inc();
         const SweepResult r = runSpec(specs[i], opts_.baseSeed);
         if (cache)
             cache->store(specCacheKey(specs[i], opts_.baseSeed), r);

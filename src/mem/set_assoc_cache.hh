@@ -80,6 +80,13 @@ class SetAssocCache
     /** True if @p line is resident (no state update). */
     bool probe(Addr line) const;
 
+    /**
+     * Way currently holding @p line, or -1 if absent (no state
+     * update). Lets differential tests assert that a victim chosen
+     * for a slot lay inside that slot's way mask.
+     */
+    int wayOf(Addr line) const { return findWay(setIndex(line), line); }
+
     /** Mark a resident line dirty (inner writeback hit); no-op if absent. */
     bool markDirty(Addr line);
 

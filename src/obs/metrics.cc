@@ -1,0 +1,193 @@
+#include "obs/metrics.hh"
+
+#include <cstdio>
+#include <ostream>
+
+namespace capart::obs
+{
+
+namespace detail
+{
+std::atomic<bool> gEnabled{false};
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    if constexpr (kCompiledIn)
+        detail::gEnabled.store(on, std::memory_order_relaxed);
+    else
+        (void)on;
+}
+
+namespace
+{
+
+/** Escape for JSON string values (metric names are plain identifiers,
+ *  but exports must stay valid JSON for any registered name). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+template <typename Map, typename Fn>
+void
+writeJsonSection(std::ostream &os, const char *title, const Map &map,
+                 Fn &&value, bool &first_section)
+{
+    if (!first_section)
+        os << ",\n";
+    first_section = false;
+    os << "  \"" << title << "\": {";
+    bool first = true;
+    for (const auto &[name, metric] : map) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    \"" << jsonEscape(name) << "\": ";
+        value(os, *metric);
+    }
+    if (!first)
+        os << "\n  ";
+    os << "}";
+}
+
+} // namespace
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\n";
+    bool first_section = true;
+    writeJsonSection(os, "counters", counters_,
+                     [](std::ostream &o, const Counter &c) {
+                         o << c.value();
+                     },
+                     first_section);
+    writeJsonSection(os, "gauges", gauges_,
+                     [](std::ostream &o, const Gauge &g) {
+                         o << g.value();
+                     },
+                     first_section);
+    writeJsonSection(
+        os, "histograms", histograms_,
+        [](std::ostream &o, const Histogram &h) {
+            o << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
+              << ", \"buckets\": [";
+            bool first = true;
+            for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+                const std::uint64_t n = h.bucket(i);
+                if (n == 0)
+                    continue;
+                if (!first)
+                    o << ", ";
+                first = false;
+                o << "{\"le\": " << Histogram::bucketBound(i)
+                  << ", \"n\": " << n << "}";
+            }
+            o << "]}";
+        },
+        first_section);
+    os << "\n}\n";
+}
+
+void
+MetricsRegistry::writeCsv(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "kind,name,stat,value\n";
+    for (const auto &[name, c] : counters_)
+        os << "counter," << name << ",value," << c->value() << "\n";
+    for (const auto &[name, g] : gauges_)
+        os << "gauge," << name << ",value," << g->value() << "\n";
+    for (const auto &[name, h] : histograms_) {
+        os << "histogram," << name << ",count," << h->count() << "\n";
+        os << "histogram," << name << ",sum," << h->sum() << "\n";
+        for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+            const std::uint64_t n = h->bucket(i);
+            if (n == 0)
+                continue;
+            os << "histogram," << name << ",le_"
+               << Histogram::bucketBound(i) << "," << n << "\n";
+        }
+    }
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+MetricsRegistry &
+metrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace capart::obs

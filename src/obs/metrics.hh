@@ -1,0 +1,176 @@
+/**
+ * @file
+ * MetricsRegistry: named counters, gauges, and histograms with
+ * lock-free hot-path updates and JSON/CSV export.
+ *
+ * Registration (looking a metric up by name) takes a mutex; the
+ * returned reference is stable for the registry's lifetime, so hot
+ * paths cache it once and then update with relaxed atomics only:
+ *
+ *     if (obs::enabled()) {
+ *         static obs::Counter &quanta =
+ *             obs::metrics().counter("sim.quanta");
+ *         quanta.inc();
+ *     }
+ *
+ * The function-local static keeps the lookup off the hot path *and*
+ * defers it until observability is actually enabled.
+ */
+
+#ifndef CAPART_OBS_METRICS_HH
+#define CAPART_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/obs.hh"
+
+namespace capart::obs
+{
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    inc(std::uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** Last-written level (allocation sizes, queue depths, ratios). */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        bits_.store(std::bit_cast<std::uint64_t>(v),
+                    std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return std::bit_cast<double>(
+            bits_.load(std::memory_order_relaxed));
+    }
+
+    void reset() { set(0.0); }
+
+  private:
+    std::atomic<std::uint64_t> bits_{0};
+};
+
+/**
+ * Power-of-two-bucketed histogram of non-negative integer samples
+ * (latencies in ns, sizes in bytes, retry counts). Bucket i counts
+ * samples whose value needs i significant bits, i.e. bucket upper
+ * bounds 0, 1, 3, 7, ..., 2^k - 1.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 65;
+
+    void
+    record(std::uint64_t v)
+    {
+        buckets_[std::bit_width(v)].fetch_add(1,
+                                              std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    count() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &b : buckets_)
+            n += b.load(std::memory_order_relaxed);
+        return n;
+    }
+
+    std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    std::uint64_t
+    bucket(unsigned i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    /** Inclusive upper bound of bucket @p i (max for the last). */
+    static std::uint64_t
+    bucketBound(unsigned i)
+    {
+        if (i >= 64)
+            return ~0ULL;
+        return (1ULL << i) - 1;
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+/**
+ * Owns every named metric. Thread-safe; lookups lock, updates through
+ * the returned references do not. Export order is deterministic
+ * (lexicographic by name) so repeated dumps diff cleanly.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Find or create; the reference stays valid for the registry's life. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * {"counters": {...}, "gauges": {...}, "histograms": {...}} with
+     * histogram buckets as [{"le": bound, "n": count}, ...] (zero
+     * buckets omitted).
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** One `kind,name,stat,value` row per scalar / histogram bucket. */
+    void writeCsv(std::ostream &os) const;
+
+    /** Zero every metric's value; registered names persist. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** The process-wide registry every instrumentation seam writes to. */
+MetricsRegistry &metrics();
+
+} // namespace capart::obs
+
+#endif // CAPART_OBS_METRICS_HH

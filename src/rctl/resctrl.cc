@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace capart
 {
@@ -163,6 +165,8 @@ RctlStatus
 ResctrlFs::writeSchemata(const std::string &name,
                          const std::string &schemata)
 {
+    if (obs::enabled())
+        obs::metrics().counter("rctl.schemata_writes").inc();
     Group *g = find(name);
     if (!g)
         return RctlStatus::NotFound;
@@ -181,8 +185,11 @@ ResctrlFs::writeSchemata(const std::string &name,
 
     if (hook_) {
         const RctlStatus forced = hook_->onSchemataWrite(name);
-        if (forced != RctlStatus::Ok)
+        if (forced != RctlStatus::Ok) {
+            if (obs::enabled())
+                obs::metrics().counter("rctl.schemata_failures").inc();
             return forced;
+        }
     }
 
     // Transactional commit: remask every member or roll back the ones
@@ -193,12 +200,22 @@ ResctrlFs::writeSchemata(const std::string &name,
         if (hook_ && !hook_->onApplyMask(name, app)) {
             for (const AppId done : moved)
                 sys_->setWayMask(done, old);
+            if (obs::enabled()) {
+                obs::metrics().counter("rctl.schemata_failures").inc();
+                obs::metrics().counter("rctl.rollbacks").inc();
+            }
             return RctlStatus::IoError;
         }
         sys_->setWayMask(app, mask);
         moved.push_back(app);
     }
     g->mask = mask;
+    if (obs::enabled()) {
+        obs::tracer().instant(
+            "rctl.write", "rctl", sys_->now() * 1e6,
+            {{"mask", static_cast<double>(mask.bits())},
+             {"ways", static_cast<double>(mask.count())}});
+    }
     return RctlStatus::Ok;
 }
 

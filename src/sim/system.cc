@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace capart
 {
@@ -185,6 +187,11 @@ System::deliverWindows()
         while (a.windowsSeen < windows.size()) {
             controller_->onWindow(*this, id, windows[a.windowsSeen]);
             ++a.windowsSeen;
+            if (obs::enabled()) {
+                static obs::Counter &delivered =
+                    obs::metrics().counter("sim.windows_delivered");
+                delivered.inc();
+            }
         }
     }
 }
@@ -207,6 +214,11 @@ System::stepHt(HwThreadId ht)
     const Insts insts =
         wl.runQuantum(cfg_.quantumInsts, progress, accessBuf_);
     capart_assert(insts > 0);
+
+    if (obs::enabled()) {
+        static obs::Counter &quanta = obs::metrics().counter("sim.quanta");
+        quanta.inc();
+    }
 
     QuantumCounts q;
     q.insts = insts;
@@ -376,6 +388,11 @@ System::stepHt(HwThreadId ht)
             if (a.threadsDone >= required && !a.completed) {
                 a.completed = true;
                 a.completionTime = h.localTime;
+                if (obs::enabled()) {
+                    obs::tracer().instant(
+                        "app.complete", "sim", h.localTime * 1e6,
+                        {{"app", static_cast<double>(h.app)}});
+                }
             }
         }
     }
@@ -387,6 +404,8 @@ System::run()
     capart_assert(!ran_);
     ran_ = true;
     capart_assert(!apps_.empty());
+    obs::TraceSpan run_span("sim.run", "sim",
+                            {{"apps", static_cast<double>(apps_.size())}});
 
     bool any_primary = false;
     for (const auto &a : apps_)

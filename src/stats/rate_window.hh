@@ -37,18 +37,32 @@ class RateWindow
         capart_assert(buckets >= 2);
     }
 
-    /** Add @p amount units at time @p now (now must not go backwards). */
+    /**
+     * Add @p amount units at time @p now. Samples may arrive mildly
+     * out of order (hardware threads post traffic at their own local
+     * times); anything still inside the window folds into its bucket.
+     * A sample older than the whole window is dropped — its slot has
+     * been reused for a newer epoch, and folding it in would either
+     * corrupt that bucket or resurrect expired traffic. Dropped
+     * samples still count toward total().
+     */
     void
     record(Seconds now, std::uint64_t amount)
     {
         const std::uint64_t epoch = bucketEpoch(now);
+        total_ += amount;
+        if (lastEpoch_ != ~0ULL && epoch + counts_.size() <= lastEpoch_) {
+            ++staleDrops_;
+            return;
+        }
+        if (lastEpoch_ == ~0ULL || epoch > lastEpoch_)
+            lastEpoch_ = epoch;
         const std::size_t slot = epoch % counts_.size();
         if (epochs_[slot] != epoch) {
             epochs_[slot] = epoch;
             counts_[slot] = 0;
         }
         counts_[slot] += amount;
-        total_ += amount;
     }
 
     /** Average units/second over the live window ending at @p now. */
@@ -68,8 +82,11 @@ class RateWindow
                (width_ * static_cast<double>(counts_.size()));
     }
 
-    /** All units ever recorded. */
+    /** All units ever recorded (including dropped stale samples). */
     std::uint64_t total() const { return total_; }
+
+    /** Samples dropped for arriving older than the whole window. */
+    std::uint64_t staleDrops() const { return staleDrops_; }
 
     /** Window span in seconds. */
     Seconds
@@ -89,6 +106,8 @@ class RateWindow
     std::vector<std::uint64_t> counts_;
     std::vector<std::uint64_t> epochs_;
     std::uint64_t total_ = 0;
+    std::uint64_t lastEpoch_ = ~0ULL; //!< newest epoch ever recorded
+    std::uint64_t staleDrops_ = 0;
 };
 
 } // namespace capart

@@ -105,6 +105,51 @@ TEST(PhaseDetector, NearZeroMpkiDoesNotOscillate)
         EXPECT_EQ(det.step((i % 2) ? 0.012 : 0.008), PhaseEvent::Stable);
 }
 
+TEST(PhaseDetector, SingleSampleHistorySuffices)
+{
+    // After just one sample the average exists and deviations from it
+    // are detectable — no warm-up period hides an early phase change.
+    PhaseDetector det;
+    EXPECT_EQ(det.step(100.0), PhaseEvent::Stable) << "bootstrap";
+    EXPECT_EQ(det.step(200.0), PhaseEvent::NewPhase);
+    EXPECT_EQ(det.phaseChanges(), 1u);
+    EXPECT_NEAR(det.avgMpki(), 200.0, 1e-12)
+        << "the new phase's average restarts at the new level";
+}
+
+TEST(PhaseDetector, Thr1BoundaryIsExclusive)
+{
+    // A deviation of exactly THR1 does NOT start a phase change (the
+    // comparison is strict); the next representable step above does.
+    {
+        PhaseDetector det;
+        det.step(100.0);
+        EXPECT_EQ(det.step(102.0), PhaseEvent::Stable)
+            << "delta == THR1 exactly must stay stable";
+    }
+    {
+        PhaseDetector det;
+        det.step(100.0);
+        EXPECT_EQ(det.step(102.1), PhaseEvent::NewPhase)
+            << "delta just above THR1 must trigger";
+    }
+}
+
+TEST(PhaseDetector, Thr2SettleBoundaryIsExclusive)
+{
+    // Settling requires the deviation to fall strictly below THR2:
+    // sitting exactly on the boundary keeps the transition open.
+    PhaseDetector det;
+    det.step(100.0);
+    EXPECT_EQ(det.step(150.0), PhaseEvent::NewPhase);
+    // avg restarted at 150; 153 is exactly 2% away.
+    EXPECT_EQ(det.step(153.0), PhaseEvent::InTransition);
+    // Still moving tracks the level (avg := 153); zero delta settles.
+    EXPECT_EQ(det.step(153.0), PhaseEvent::Stable);
+    EXPECT_FALSE(det.inTransition());
+    EXPECT_EQ(det.phaseChanges(), 1u);
+}
+
 // ----------------------------------------------- static policy masks --
 
 TEST(StaticPolicies, PolicyNames)
@@ -470,6 +515,44 @@ TEST(DynamicPartitioner, RejectsGarbageAndLoneSpikes)
     EXPECT_EQ(countHealthEvents(ctrl.healthLog(),
                                 HealthEventKind::SampleRejected),
               ctrl.rejectedSamples());
+}
+
+TEST(DynamicPartitioner, ZeroInstructionWindowGuard)
+{
+    // A window with zero instructions *and* zero misses is a real idle
+    // interval: MPKI 0 is data, not garbage. Zero instructions with
+    // nonzero misses is arithmetically impossible on healthy counters
+    // and must be rejected before it poisons the running average.
+    SystemConfig scfg;
+    System sys(scfg);
+    const AppId fg = sys.addAppOnCores(
+        Catalog::byName("ferret").scaled(0.02), 0, 2);
+    const AppId bg = sys.addAppOnCores(
+        Catalog::byName("dedup").scaled(0.02), 2, 2);
+    DynamicPartitioner ctrl(fg, {bg});
+
+    unsigned t = 0;
+    for (int i = 0; i < 3; ++i)
+        ctrl.onWindow(sys, fg, fgWindow(t++, 10.0));
+
+    PerfWindow idle = fgWindow(t++, 0.0);
+    idle.insts = 0;
+    idle.llcAccesses = 0;
+    idle.llcMisses = 0;
+    ctrl.onWindow(sys, fg, idle);
+    EXPECT_EQ(ctrl.rejectedSamples(), 0u)
+        << "an idle window is valid zero-MPKI data";
+
+    PerfWindow torn = fgWindow(t++, 10.0);
+    torn.insts = 0; // misses survived, instructions did not: torn read
+    ctrl.onWindow(sys, fg, torn);
+    EXPECT_EQ(ctrl.rejectedSamples(), 1u);
+
+    PerfWindow negative = fgWindow(t++, 10.0);
+    negative.mpki = -4.0;
+    ctrl.onWindow(sys, fg, negative);
+    EXPECT_EQ(ctrl.rejectedSamples(), 2u);
+    EXPECT_EQ(ctrl.mode(), ControlMode::Dynamic);
 }
 
 // --------------------------------------------------------- CoScheduler --

@@ -121,5 +121,55 @@ TEST(RateWindow, SpanMatchesConfig)
     EXPECT_DOUBLE_EQ(w.span(), 200e-6);
 }
 
+TEST(RateWindow, BucketWraparoundReplacesExpiredTraffic)
+{
+    RateWindow w(1e-3, 4);
+    // Epoch 0 lands in slot 0; epoch 4 wraps into the same slot. The
+    // old burst must be replaced, not accumulated.
+    w.record(0.5e-3, 1000);
+    w.record(4.5e-3, 2000);
+    // Live window at epoch 4 covers epochs 1..4: only the new burst.
+    EXPECT_NEAR(w.rate(4.9e-3), 2000.0 / 4e-3, 1.0);
+    EXPECT_EQ(w.total(), 3000u);
+    EXPECT_EQ(w.staleDrops(), 0u);
+
+    // Several laps later the slot keeps being reused cleanly.
+    w.record(8.5e-3, 4000);  // slot 0 again (epoch 8)
+    w.record(12.5e-3, 8000); // slot 0 again (epoch 12)
+    EXPECT_NEAR(w.rate(12.9e-3), 8000.0 / 4e-3, 1.0);
+}
+
+TEST(RateWindow, OutOfOrderWithinWindowFoldsIn)
+{
+    // Hardware threads post traffic at their own local times, so mildly
+    // out-of-order samples are normal; anything still inside the window
+    // must land in its bucket.
+    RateWindow w(1e-3, 4);
+    w.record(3.5e-3, 1000); // epoch 3
+    w.record(1.5e-3, 500);  // epoch 1: older, but in the window
+    EXPECT_EQ(w.staleDrops(), 0u);
+    EXPECT_NEAR(w.rate(3.9e-3), 1500.0 / 4e-3, 1.0);
+    EXPECT_EQ(w.total(), 1500u);
+}
+
+TEST(RateWindow, StaleOutOfOrderSampleIsDroppedNotResurrected)
+{
+    RateWindow w(1e-3, 4);
+    w.record(9.5e-3, 1000); // epoch 9 -> slot 1
+    w.record(8.5e-3, 1000); // epoch 8 -> slot 0 (in window)
+    // Epoch 4 also maps to slot 0. Folding it in would clobber the
+    // live epoch-8 bucket with expired traffic; it must be dropped.
+    w.record(4.5e-3, 7777);
+    EXPECT_EQ(w.staleDrops(), 1u);
+    EXPECT_NEAR(w.rate(9.9e-3), 2000.0 / 4e-3, 1.0)
+        << "stale sample corrupted a live bucket";
+    EXPECT_EQ(w.total(), 9777u) << "total still counts dropped samples";
+
+    // A stale sample must not rewind the window either: current
+    // traffic keeps accumulating normally afterwards.
+    w.record(9.7e-3, 500);
+    EXPECT_NEAR(w.rate(9.9e-3), 2500.0 / 4e-3, 1.0);
+}
+
 } // namespace
 } // namespace capart
