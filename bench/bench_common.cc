@@ -1,14 +1,18 @@
 #include "bench_common.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 
+#include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/run_ledger.hh"
 #include "obs/trace.hh"
 #include "workload/catalog.hh"
 
@@ -28,9 +32,52 @@ constexpr const char *kDefaultCacheDir = ".capart-cache";
 std::string gMetricsOut;  // NOLINT(cert-err58-cpp)
 std::string gTraceOut;    // NOLINT(cert-err58-cpp)
 
+/** Ledger state of this invocation (one run id across all records). */
+std::unique_ptr<obs::RunLedger> gLedger;     // NOLINT(cert-err58-cpp)
+std::string gBenchName;                      // NOLINT(cert-err58-cpp)
+std::string gRunId;                          // NOLINT(cert-err58-cpp)
+std::uint64_t gSeed = 0;
+std::chrono::steady_clock::time_point gWallStart;
+
+double
+unixMillisNow()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+/** argv[0] basename with any "bench_" prefix stripped. */
+std::string
+benchNameFromArgv0(const char *argv0)
+{
+    std::string name =
+        std::filesystem::path(argv0 ? argv0 : "bench").filename().string();
+    if (name.rfind("bench_", 0) == 0)
+        name = name.substr(6);
+    return name.empty() ? "bench" : name;
+}
+
 void
 exportObsFiles()
 {
+    if (gLedger) {
+        // One `bench` record closes the invocation: total wall time
+        // plus the final counter snapshot, so the ledger alone shows
+        // what the run did and what it cost.
+        obs::RunRecord rec;
+        rec.kind = "bench";
+        rec.bench = gBenchName;
+        rec.run = gRunId;
+        rec.seed = gSeed;
+        rec.tsMs = unixMillisNow();
+        rec.wallMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - gWallStart)
+                         .count();
+        rec.counters = obs::metrics().counterSnapshot();
+        gLedger->append(rec);
+    }
     if (!gMetricsOut.empty()) {
         std::ofstream out(gMetricsOut);
         if (out)
@@ -72,12 +119,19 @@ enableObsExport()
 }
 } // namespace
 
+const std::string &
+runId()
+{
+    return gRunId;
+}
+
 BenchOptions
 parseArgs(int argc, char **argv, double default_scale,
           const char *description)
 {
     BenchOptions opts;
     opts.scale = default_scale;
+    gWallStart = std::chrono::steady_clock::now();
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--scale=", 0) == 0) {
@@ -108,6 +162,21 @@ parseArgs(int argc, char **argv, double default_scale,
             opts.traceOut = arg.substr(12);
             gTraceOut = opts.traceOut;
             enableObsExport();
+        } else if (arg.rfind("--ledger=", 0) == 0) {
+            opts.ledgerOut = arg.substr(9);
+            enableObsExport();
+        } else if (arg.rfind("--log-out=", 0) == 0) {
+            opts.logOut = arg.substr(10);
+            setLogSink(opts.logOut);
+        } else if (arg.rfind("--log-level=", 0) == 0) {
+            LogLevel lvl;
+            if (!parseLogLevel(arg.substr(12), &lvl)) {
+                std::fprintf(stderr,
+                             "invalid --log-level (want debug, info, "
+                             "warn, or error)\n");
+                std::exit(1);
+            }
+            setLogLevel(lvl);
         } else {
             std::printf("%s\n\nusage: %s [--scale=F] [--csv] [--quick] "
                         "[--seed=N] [--jobs=N] [--resume] "
@@ -132,7 +201,15 @@ parseArgs(int argc, char **argv, double default_scale,
                         "  --trace-out=F  write a Chrome trace_event "
                         "JSON timeline to F\n"
                         "               on exit (open in Perfetto or "
-                        "about:tracing)\n",
+                        "about:tracing)\n"
+                        "  --ledger=F   append one JSONL run-ledger "
+                        "record per sweep point\n"
+                        "               plus a closing bench record to F "
+                        "(see bench_report)\n"
+                        "  --log-out=F  structured JSONL event log to F "
+                        "(\"-\" = stderr)\n"
+                        "  --log-level=L  drop structured events below L "
+                        "(debug|info|warn|error)\n",
                         description, argv[0], default_scale,
                         kDefaultCacheDir);
             std::exit(arg == "--help" ? 0 : 1);
@@ -144,6 +221,16 @@ parseArgs(int argc, char **argv, double default_scale,
     }
     if (opts.cacheDir.empty())
         opts.cacheDir = kDefaultCacheDir;
+    if (!opts.ledgerOut.empty()) {
+        // Built after the loop so the id reflects the final --seed no
+        // matter the flag order.
+        gBenchName = benchNameFromArgv0(argv[0]);
+        gSeed = opts.seed;
+        gRunId = gBenchName + "-" + std::to_string(opts.seed) + "-" +
+                 std::to_string(static_cast<std::uint64_t>(
+                     unixMillisNow()));
+        gLedger = std::make_unique<obs::RunLedger>(opts.ledgerOut);
+    }
     return opts;
 }
 
@@ -164,6 +251,11 @@ makeRunner(const BenchOptions &opts, const std::string &bench_name)
         if (done == total)
             std::fputc('\n', stderr);
     };
+    if (gLedger) {
+        ro.ledger = gLedger.get();
+        ro.benchName = gBenchName;
+        ro.runId = gRunId;
+    }
     return exec::SweepRunner(ro);
 }
 

@@ -43,19 +43,30 @@ struct BenchOptions
     std::string metricsOut;
     /** Write a Chrome trace_event JSON file here on exit ("" = off). */
     std::string traceOut;
+    /** Append run-ledger records (JSONL) to this file ("" = off). */
+    std::string ledgerOut;
+    /** Structured JSONL log sink ("" = off, "-" = stderr). */
+    std::string logOut;
 };
 
 /**
  * Parse --scale=X, --csv, --quick, --seed=N, --jobs=N, --resume,
- * --cache-dir=D, --metrics-out=F, --trace-out=F; prints usage and
- * exits on --help or unknown arguments. @p default_scale seeds
- * opts.scale. Passing --metrics-out or --trace-out enables the
- * observability layer for the run and registers an atexit hook that
- * writes the file(s); stdout (the table/CSV) is never touched, so
- * golden outputs stay byte-identical.
+ * --cache-dir=D, --metrics-out=F, --trace-out=F, --ledger=F,
+ * --log-out=F, --log-level=L; prints usage and exits on --help or
+ * unknown arguments. @p default_scale seeds opts.scale. Passing
+ * --metrics-out, --trace-out, or --ledger enables the observability
+ * layer for the run and registers an atexit hook that writes the
+ * file(s); stdout (the table/CSV) is never touched, so golden outputs
+ * stay byte-identical. --ledger also stamps a run id
+ * (`<bench>-<seed>-<epoch ms>`) shared by every record of the
+ * invocation and appends a final `bench` record at exit. --log-out
+ * opens the process-wide structured JSONL log (see common/logging.hh).
  */
 BenchOptions parseArgs(int argc, char **argv, double default_scale,
                        const char *description);
+
+/** The --ledger run id of this invocation ("" without --ledger). */
+const std::string &runId();
 
 /**
  * A SweepRunner configured from @p opts: seeded with opts.seed, with

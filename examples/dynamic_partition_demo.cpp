@@ -4,13 +4,16 @@
  * 429.mcf as foreground against a continuously-running background and
  * print the controller's allocation decisions as an ASCII timeline —
  * way allocation growing at phase changes and shrinking as the probe
- * finds spare capacity.
+ * finds spare capacity. An online SLO monitor rides along (observing,
+ * never steering) and reports whether the foreground stayed within
+ * its responsiveness budget window by window.
  */
 
 #include <cstdio>
 #include <string>
 
 #include "core/dynamic_partitioner.hh"
+#include "core/slo_monitor.hh"
 #include "sim/system.hh"
 #include "workload/catalog.hh"
 
@@ -22,6 +25,18 @@ main()
     SystemConfig config;
     config.perfWindow = 20e-6; // scaled analogue of the 100 ms window
 
+    // Baseline for the SLO: the foreground alone on half the LLC —
+    // the paper's responsiveness reference point.
+    double baseline_ips = 0.0;
+    {
+        System alone(config);
+        const AppId solo = alone.addAppThreads(
+            Catalog::byName("429.mcf").scaled(0.5), 0, 1);
+        alone.setWayMask(solo, WayMask::range(0, alone.llcWays() / 2));
+        const RunResult r = alone.run();
+        baseline_ips = r.app(solo).throughputIps;
+    }
+
     System machine(config);
     const AppId fg = machine.addAppThreads(
         Catalog::byName("429.mcf").scaled(0.5), 0, 1);
@@ -29,7 +44,10 @@ main()
         Catalog::byName("dedup").scaled(0.5), 2, 2, /*continuous=*/true);
 
     DynamicPartitioner controller(fg, {bg});
-    machine.setController(&controller);
+    SloMonitor slo;
+    slo.setBaseline(baseline_ips);
+    SloController monitored(fg, &slo, &controller);
+    machine.setController(&monitored);
 
     std::printf("running 429.mcf (fg, 1 thread) + dedup (bg, looping) "
                 "under Algorithm 6.2\n\n");
@@ -60,5 +78,20 @@ main()
                     controller.reallocations()),
                 static_cast<unsigned long long>(
                     controller.detector().phaseChanges()));
+
+    std::printf("\nSLO monitor (target: fg within %.0f%% of alone on "
+                "half the LLC):\n  %llu windows evaluated, %llu "
+                "breach(es), %llu window(s) in breach;\n  final "
+                "slowdown %.3f, short/long burn %.2f/%.2f -> %s\n",
+                (slo.config().slo - 1.0) * 100.0,
+                static_cast<unsigned long long>(slo.windows()),
+                static_cast<unsigned long long>(slo.breaches()),
+                static_cast<unsigned long long>(slo.breachWindows()),
+                slo.lastSlowdown(), slo.shortBurn(), slo.longBurn(),
+                slo.inBreach() ? "IN BREACH" : "within SLO");
+    for (const HealthEvent &ev : slo.healthLog()) {
+        std::printf("  t=%.1fus %s\n", ev.time * 1e6,
+                    healthEventName(ev.kind));
+    }
     return 0;
 }

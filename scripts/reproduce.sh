@@ -10,10 +10,17 @@
 #                any N — seeds derive from spec hashes, not schedule.
 #   RESUME=1     memoize sweep points in .capart-cache/ so an
 #                interrupted run restarts where it stopped.
+#
+# Every experiment appends to run_ledger.jsonl (one JSON record per
+# sweep point); afterwards bench_report aggregates the ledger into
+# BENCH_capart.json and bench_report.md. Keep the ledger across
+# invocations and the report compares the newest run against the
+# oldest — an advisory regression check between reproductions.
 set -u
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-0}" # 0 = all cores
+LEDGER="${LEDGER:-run_ledger.jsonl}"
 SWEEP_FLAGS="--jobs=$JOBS"
 [ "${RESUME:-0}" = "1" ] && SWEEP_FLAGS="$SWEEP_FLAGS --resume"
 
@@ -32,14 +39,27 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
+    case "$(basename "$b")" in
+    bench_report) continue ;; # aggregator, runs after the loop
+    esac
     echo "### $b"
     case "$b" in
+    *micro_simulator*)
+        # google-benchmark binary; takes no capart flags.
+        "$b"
+        ;;
     *fig06* | *fig07* | *fig08* | *fig09* | *fig10* | *fig11* | *fig13*)
         # Sweep binaries: parallel, optionally memoized (see header).
-        "$b" $SWEEP_FLAGS
+        "$b" $SWEEP_FLAGS --ledger="$LEDGER" --log-out=events.jsonl
         ;;
     *)
-        "$b"
+        "$b" --ledger="$LEDGER" --log-out=events.jsonl
         ;;
     esac
 done 2>&1 | tee bench_output.txt
+
+# Aggregate the ledger: BENCH_capart.json time series + markdown
+# regression report (advisory — a FAIL verdict does not stop the run).
+build/bench/bench_report --ledger="$LEDGER" \
+    --json-out=BENCH_capart.json --md-out=bench_report.md
+echo "wrote BENCH_capart.json and bench_report.md"

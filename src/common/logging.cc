@@ -1,15 +1,188 @@
 #include "common/logging.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+
+#include "common/json.hh"
 
 namespace capart
 {
+
+// ------------------------------------------------ structured JSONL log --
+
+namespace
+{
+
+/**
+ * The process-wide sink. Heap-allocated on first use and never
+ * destroyed, so events from static destructors (atexit exporters,
+ * panic paths) can still land.
+ */
+struct LogSink
+{
+    std::mutex mutex;
+    std::ofstream file;
+    bool toStderr = false;
+    bool open = false;
+    LogLevel level = LogLevel::Info;
+};
+
+LogSink &
+sink()
+{
+    static LogSink *s = new LogSink;
+    return *s;
+}
+
+double
+unixMillis()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+const char *
+logLevelName(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+    }
+    return "info";
+}
+
+bool
+parseLogLevel(const std::string &text, LogLevel *out)
+{
+    if (text == "debug")
+        *out = LogLevel::Debug;
+    else if (text == "info")
+        *out = LogLevel::Info;
+    else if (text == "warn")
+        *out = LogLevel::Warn;
+    else if (text == "error")
+        *out = LogLevel::Error;
+    else
+        return false;
+    return true;
+}
+
+void
+LogField::writeTo(std::ostream &os) const
+{
+    os << '"' << jsonEscape(key_) << "\":";
+    switch (kind_) {
+      case Kind::Num:
+        jsonWriteNumber(os, num_);
+        break;
+      case Kind::Int:
+        os << int_;
+        break;
+      case Kind::Str:
+        os << '"' << jsonEscape(str_) << '"';
+        break;
+      case Kind::Bool:
+        os << (int_ ? "true" : "false");
+        break;
+    }
+}
+
+void
+setLogSink(const std::string &path)
+{
+    LogSink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.file.is_open())
+        s.file.close();
+    s.toStderr = false;
+    s.open = false;
+    if (path.empty())
+        return;
+    if (path == "-") {
+        s.toStderr = true;
+        s.open = true;
+        return;
+    }
+    s.file.open(path, std::ios::app);
+    if (!s.file) {
+        std::fprintf(stderr, "capart: cannot open log sink %s\n",
+                     path.c_str());
+        return;
+    }
+    s.open = true;
+}
+
+void
+setLogLevel(LogLevel lvl)
+{
+    LogSink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.level = lvl;
+}
+
+LogLevel
+logLevel()
+{
+    LogSink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.level;
+}
+
+bool
+logEnabled(LogLevel lvl)
+{
+    LogSink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.open && lvl >= s.level;
+}
+
+void
+logEvent(LogLevel lvl, const char *event,
+         std::initializer_list<LogField> fields)
+{
+    LogSink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.open || lvl < s.level)
+        return;
+    // Build the full line before writing: one write + flush per event
+    // keeps the stream line-atomic under concurrent emitters and means
+    // a crash truncates at most the final line.
+    std::ostringstream line;
+    line << "{\"ts_ms\":";
+    jsonWriteNumber(line, unixMillis());
+    line << ",\"level\":\"" << logLevelName(lvl) << "\",\"event\":\""
+         << jsonEscape(event) << '"';
+    for (const LogField &f : fields) {
+        line << ',';
+        f.writeTo(line);
+    }
+    line << "}\n";
+    std::ostream &os = s.toStderr ? std::cerr : s.file;
+    os << line.str();
+    os.flush();
+}
+
+// ------------------------------------------------------ stderr macros --
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    logEvent(LogLevel::Error, "log.panic",
+             {{"msg", msg}, {"file", file}, {"line", line}});
     std::abort();
 }
 
@@ -17,6 +190,8 @@ void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    logEvent(LogLevel::Error, "log.fatal",
+             {{"msg", msg}, {"file", file}, {"line", line}});
     std::exit(1);
 }
 
@@ -24,12 +199,14 @@ void
 warnImpl(const std::string &msg)
 {
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    logEvent(LogLevel::Warn, "log.warn", {{"msg", msg}});
 }
 
 void
 informImpl(const std::string &msg)
 {
     std::fprintf(stderr, "info: %s\n", msg.c_str());
+    logEvent(LogLevel::Info, "log.info", {{"msg", msg}});
 }
 
 } // namespace capart

@@ -7,11 +7,22 @@
  * fatal()  — the user supplied an impossible configuration; exits cleanly
  *            with a nonzero status.
  * warn() / inform() — non-fatal status messages on stderr.
+ *
+ * Beyond the stderr macros, the module owns the process-wide
+ * *structured* log: a JSONL sink (one JSON object per line, flushed
+ * per line) that typed events — controller health decisions, SLO
+ * breaches, injected faults, warnings — are routed into so one
+ * machine-readable stream tells the whole story of a run. The sink is
+ * off until setLogSink() names a file (the benches wire `--log-out=F`
+ * / `--log-level=L` to it); with no sink, logEvent() is a cheap early
+ * return, so instrumentation sites need no gating of their own.
  */
 
 #ifndef CAPART_COMMON_LOGGING_HH
 #define CAPART_COMMON_LOGGING_HH
 
+#include <cstdint>
+#include <initializer_list>
 #include <sstream>
 #include <string>
 
@@ -24,6 +35,94 @@ namespace capart
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 /** @endcond */
+
+// ------------------------------------------------ structured JSONL log --
+
+/** Severity of a structured log event (ordered; sink filters by it). */
+enum class LogLevel
+{
+    Debug = 0,
+    Info,
+    Warn,
+    Error
+};
+
+/** Lower-case level name ("debug", "info", ...). */
+const char *logLevelName(LogLevel lvl);
+
+/** Parse "debug"/"info"/"warn"/"error"; false on anything else. */
+bool parseLogLevel(const std::string &text, LogLevel *out);
+
+/** One key/value attached to a structured event. Keys are literals. */
+class LogField
+{
+  public:
+    LogField(const char *key, double v)
+        : key_(key), kind_(Kind::Num), num_(v)
+    {
+    }
+    // Small integers ride the double path (exact below 2^53 and
+    // printed without a fraction); only uint64 needs the exact lane.
+    LogField(const char *key, int v)
+        : LogField(key, static_cast<double>(v))
+    {
+    }
+    LogField(const char *key, unsigned v)
+        : LogField(key, static_cast<double>(v))
+    {
+    }
+    LogField(const char *key, std::uint64_t v)
+        : key_(key), kind_(Kind::Int), int_(v)
+    {
+    }
+    LogField(const char *key, const char *v)
+        : key_(key), kind_(Kind::Str), str_(v)
+    {
+    }
+    LogField(const char *key, const std::string &v)
+        : key_(key), kind_(Kind::Str), str_(v)
+    {
+    }
+    LogField(const char *key, bool v)
+        : key_(key), kind_(Kind::Bool), int_(v ? 1 : 0)
+    {
+    }
+
+    /** Emit `"key":value` (no surrounding braces). */
+    void writeTo(std::ostream &os) const;
+
+  private:
+    enum class Kind { Num, Int, Str, Bool };
+
+    const char *key_;
+    Kind kind_;
+    std::uint64_t int_ = 0;
+    double num_ = 0.0;
+    std::string str_;
+};
+
+/**
+ * Open (append) the structured sink at @p path; "" closes it, "-"
+ * writes to stderr. Replaces any previous sink.
+ */
+void setLogSink(const std::string &path);
+
+/** Drop structured events below @p lvl (default Info). */
+void setLogLevel(LogLevel lvl);
+LogLevel logLevel();
+
+/** True when a sink is open and @p lvl passes the filter. */
+bool logEnabled(LogLevel lvl);
+
+/**
+ * Append one structured event line:
+ * `{"ts_ms":<unix ms>,"level":"...","event":"...",<fields...>}`.
+ * No-op (one branch) when no sink is open or the level is filtered.
+ * The line is built whole and flushed in one write, so a crash can
+ * truncate at most the final line — loaders skip unparsable tails.
+ */
+void logEvent(LogLevel lvl, const char *event,
+              std::initializer_list<LogField> fields = {});
 
 } // namespace capart
 

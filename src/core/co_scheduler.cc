@@ -113,6 +113,19 @@ CoScheduler::runPolicy(Policy policy, bool bg_continuous)
       }
     }
 
+    if (opts_.monitorSlo && bg_continuous) {
+        // Wrap whatever controller the policy chose (possibly none) so
+        // the monitor sees every foreground window. The wrapper only
+        // observes and then delegates unchanged, so the run's results
+        // do not depend on it.
+        sloMonitor_ = std::make_unique<SloMonitor>(opts_.slo);
+        sloMonitor_->setBaseline(fgSoloHalf().app.throughputIps);
+        sloCtrl_ = std::make_unique<SloController>(AppId{0},
+                                                   sloMonitor_.get(),
+                                                   pair.controller);
+        pair.controller = sloCtrl_.get();
+    }
+
     return pairRuns_.emplace(key, runPair(fg_, bg_, pair)).first->second;
 }
 

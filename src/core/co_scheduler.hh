@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "core/dynamic_partitioner.hh"
+#include "core/slo_monitor.hh"
 #include "core/static_policies.hh"
 #include "sim/experiment.hh"
 #include "workload/app_params.hh"
@@ -35,6 +36,12 @@ struct CoScheduleOptions
     /** Tolerance of the biased search (§5.2). */
     double biasedTolerance = 0.01;
     DynamicPartitionerConfig dynamic{};
+    /**
+     * Attach a @ref SloMonitor to continuous (responsiveness) runs.
+     * Pure observation: results are bit-identical with it on or off.
+     */
+    bool monitorSlo = false;
+    SloMonitorConfig slo{};
 };
 
 /** Everything the paper reports about one (pair, policy) cell. */
@@ -94,6 +101,12 @@ class CoScheduler
         return dynCtrl_.get();
     }
 
+    /**
+     * The SLO monitor of the last monitored (continuous) run, or
+     * nullptr when `monitorSlo` is off / no continuous run happened.
+     */
+    const SloMonitor *lastSloMonitor() const { return sloMonitor_.get(); }
+
     const CoScheduleOptions &options() const { return opts_; }
     const AppParams &fg() const { return fg_; }
     const AppParams &bg() const { return bg_; }
@@ -111,6 +124,8 @@ class CoScheduler
     std::optional<BiasedSearchResult> biased_;
     std::map<std::pair<Policy, bool>, PairResult> pairRuns_;
     std::unique_ptr<DynamicPartitioner> dynCtrl_;
+    std::unique_ptr<SloMonitor> sloMonitor_;
+    std::unique_ptr<SloController> sloCtrl_;
 };
 
 } // namespace capart

@@ -111,6 +111,14 @@ DynamicPartitioner::pushHealth(System &sys, HealthEventKind kind,
                                unsigned count)
 {
     health_.push_back(HealthEvent{sys.now(), kind, fgWays_, count});
+    const bool degradation = kind == HealthEventKind::FallbackEntered ||
+                             kind == HealthEventKind::RemaskFailed;
+    logEvent(degradation ? LogLevel::Warn : LogLevel::Info,
+             "partitioner.health",
+             {{"t_s", sys.now()},
+              {"kind", healthEventName(kind)},
+              {"fg_ways", fgWays_},
+              {"count", count}});
 }
 
 void

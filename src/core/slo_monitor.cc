@@ -1,0 +1,170 @@
+#include "core/slo_monitor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace capart
+{
+
+void
+SloMonitorConfig::validate() const
+{
+    if (slo <= 1.0) {
+        capart_panic("SloMonitorConfig: slo must exceed 1 (got "
+                     << slo << "); an SLO of 1.0 leaves no error budget");
+    }
+    if (shortWindows < 1 || longWindows < 1) {
+        capart_panic("SloMonitorConfig: window sizes must be >= 1 (got "
+                     << shortWindows << "/" << longWindows << ")");
+    }
+    if (shortWindows > longWindows) {
+        capart_panic("SloMonitorConfig: shortWindows ("
+                     << shortWindows << ") must not exceed longWindows ("
+                     << longWindows << ")");
+    }
+    if (burnThreshold <= 0.0) {
+        capart_panic("SloMonitorConfig: burnThreshold must be positive"
+                     " (got " << burnThreshold << ")");
+    }
+    if (confirmWindows < 1 || recoveryWindows < 1) {
+        capart_panic("SloMonitorConfig: confirmWindows and "
+                     "recoveryWindows must be >= 1");
+    }
+}
+
+SloMonitor::SloMonitor(const SloMonitorConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+void
+SloMonitor::setBaseline(double baseline_ips)
+{
+    baselineIps_ = baseline_ips;
+}
+
+double
+SloMonitor::windowMean(const std::deque<double> &win) const
+{
+    double sum = 0.0;
+    for (const double v : win)
+        sum += v;
+    return sum / static_cast<double>(win.size());
+}
+
+SloTransition
+SloMonitor::onWindow(Seconds now, const PerfWindow &w)
+{
+    const Seconds span = w.end - w.start;
+    if (baselineIps_ <= 0.0 || span <= 0.0 || w.insts == 0 ||
+        !std::isfinite(span))
+        return SloTransition::None; // unusable window; not evaluated
+
+    const double ips = static_cast<double>(w.insts) / span;
+    const double slowdown = baselineIps_ / ips;
+    if (!std::isfinite(slowdown) || slowdown <= 0.0)
+        return SloTransition::None;
+
+    lastSlowdown_ = slowdown;
+    ++windows_;
+
+    shortWin_.push_back(slowdown);
+    if (shortWin_.size() > cfg_.shortWindows)
+        shortWin_.pop_front();
+    longWin_.push_back(slowdown);
+    if (longWin_.size() > cfg_.longWindows)
+        longWin_.pop_front();
+
+    const double budget = cfg_.slo - 1.0;
+    shortBurn_ = (windowMean(shortWin_) - 1.0) / budget;
+    longBurn_ = (windowMean(longWin_) - 1.0) / budget;
+
+    // "Burning" needs the window itself to violate the objective, not
+    // just the sliding means: one extreme spike inflates both means for
+    // shortWindows evaluations, and counting its echo as consecutive
+    // burn would turn a single bad window into a breach. Requiring the
+    // violation to be live in every confirming window is what makes the
+    // confirmation count mean "sustained".
+    const bool burning = slowdown > cfg_.slo &&
+                         shortBurn_ >= cfg_.burnThreshold &&
+                         longBurn_ >= cfg_.burnThreshold;
+    if (burning) {
+        ++burnStreak_;
+        calmStreak_ = 0;
+    } else {
+        burnStreak_ = 0;
+        ++calmStreak_;
+    }
+
+    if (inBreach_)
+        ++breachWindows_;
+
+    if (obs::enabled()) {
+        static obs::Counter &windows =
+            obs::metrics().counter("slo.windows");
+        windows.inc();
+        obs::metrics().gauge("slo.burn_short").set(shortBurn_);
+        obs::metrics().gauge("slo.burn_long").set(longBurn_);
+        obs::metrics().gauge("slo.slowdown").set(slowdown);
+        if (inBreach_)
+            obs::metrics().counter("slo.breach_windows").inc();
+    }
+
+    SloTransition transition = SloTransition::None;
+    if (!inBreach_ && burnStreak_ >= cfg_.confirmWindows) {
+        inBreach_ = true;
+        ++breaches_;
+        transition = SloTransition::Breach;
+        health_.push_back(HealthEvent{now, HealthEventKind::SloBreach, 0,
+                                      burnStreak_});
+        if (obs::enabled()) {
+            obs::metrics().counter("slo.breaches").inc();
+            obs::tracer().instant("slo.breach", "slo", now * 1e6,
+                                  {{"burn_short", shortBurn_},
+                                   {"burn_long", longBurn_}});
+        }
+        logEvent(LogLevel::Warn, "slo.breach",
+                 {{"t_s", now},
+                  {"slowdown", slowdown},
+                  {"burn_short", shortBurn_},
+                  {"burn_long", longBurn_},
+                  {"slo", cfg_.slo}});
+    } else if (inBreach_ && calmStreak_ >= cfg_.recoveryWindows) {
+        inBreach_ = false;
+        transition = SloTransition::Recovered;
+        health_.push_back(HealthEvent{now, HealthEventKind::SloRecovered,
+                                      0, calmStreak_});
+        if (obs::enabled()) {
+            obs::tracer().instant("slo.recovered", "slo", now * 1e6,
+                                  {{"burn_short", shortBurn_},
+                                   {"burn_long", longBurn_}});
+        }
+        logEvent(LogLevel::Info, "slo.recovered",
+                 {{"t_s", now},
+                  {"slowdown", slowdown},
+                  {"burn_short", shortBurn_},
+                  {"burn_long", longBurn_}});
+    }
+    return transition;
+}
+
+SloController::SloController(AppId fg, SloMonitor *monitor,
+                             PartitionController *inner)
+    : fg_(fg), monitor_(monitor), inner_(inner)
+{
+    capart_assert(monitor_ != nullptr);
+}
+
+void
+SloController::onWindow(System &sys, AppId app, const PerfWindow &w)
+{
+    if (app == fg_)
+        monitor_->onWindow(sys.now(), w);
+    if (inner_)
+        inner_->onWindow(sys, app, w);
+}
+
+} // namespace capart

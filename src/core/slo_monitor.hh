@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Online foreground-responsiveness SLO monitor.
+ *
+ * The paper's headline claim is that partitioning preserves
+ * responsiveness: the foreground's slowdown under consolidation stays
+ * within 1–2% of running alone on its half of the machine. This
+ * monitor turns that claim into an *online* service-level objective,
+ * evaluated window by window while the co-schedule runs instead of
+ * once at the end.
+ *
+ * Per foreground perf window it computes an instantaneous slowdown
+ * estimate (baseline alone-at-half-machine IPS divided by the window's
+ * IPS) and maintains mean slowdown over a short and a long sliding
+ * window. Each mean is converted to a *burn rate* against the SLO
+ * budget:
+ *
+ *     burn = (mean_slowdown - 1) / (slo - 1)
+ *
+ * so burn 1.0 means "consuming the error budget exactly as fast as the
+ * SLO allows" and burn 2.0 means "twice as fast". A breach is declared
+ * only when the current window itself violates the SLO *and* BOTH
+ * sliding windows burn past the threshold, for a configurable number
+ * of consecutive evaluations — the standard multi-window burn-rate
+ * alerting shape: the short window makes detection fast, the long
+ * window keeps one noisy sample from paging anyone, and the live
+ * violation requirement plus the confirmation count remove
+ * single-window flapping (one extreme spike echoes in the means for
+ * shortWindows evaluations but is not a *sustained* violation).
+ * Recovery is symmetric: `recoveryWindows` consecutive non-burning
+ * evaluations end the breach.
+ *
+ * The monitor is an observer, never an actuator: it reads windows,
+ * updates counters/gauges, emits trace instants and structured log
+ * events, and appends to a health log — it never touches partition
+ * state, so enabling it cannot change simulation results (tested
+ * bit-identical on/off).
+ */
+
+#ifndef CAPART_CORE_SLO_MONITOR_HH
+#define CAPART_CORE_SLO_MONITOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/health.hh"
+#include "perf/perf_counters.hh"
+#include "sim/system.hh"
+
+namespace capart
+{
+
+/** Tunables of the multi-window burn-rate SLO alert. */
+struct SloMonitorConfig
+{
+    /**
+     * The responsiveness objective as a slowdown bound: 1.02 = the FG
+     * may run at most 2% slower than alone on its half (the paper's
+     * 1–2% band).
+     */
+    double slo = 1.02;
+    /** Perf windows in the fast-detection sliding window. */
+    unsigned shortWindows = 4;
+    /** Perf windows in the noise-suppressing sliding window. */
+    unsigned longWindows = 16;
+    /** Burn rate both windows must exceed to count as burning. */
+    double burnThreshold = 1.0;
+    /** Consecutive burning evaluations before a breach is declared. */
+    unsigned confirmWindows = 2;
+    /** Consecutive clean evaluations before recovery is declared. */
+    unsigned recoveryWindows = 4;
+
+    /** Panics with a precise message on an impossible configuration. */
+    void validate() const;
+};
+
+/** What one window's evaluation changed. */
+enum class SloTransition
+{
+    None,     //!< state unchanged (healthy stayed healthy, or vice versa)
+    Breach,   //!< sustained burn just crossed into breach
+    Recovered //!< sustained calm just ended a breach
+};
+
+/** Windowed FG-slowdown SLO evaluation; see file comment. */
+class SloMonitor
+{
+  public:
+    explicit SloMonitor(const SloMonitorConfig &cfg = SloMonitorConfig{});
+
+    /**
+     * Set the alone-at-half-machine foreground throughput the slowdown
+     * is measured against. Must be called (with a positive value)
+     * before windows arrive; windows observed earlier are ignored.
+     */
+    void setBaseline(double baseline_ips);
+    double baseline() const { return baselineIps_; }
+
+    /**
+     * Evaluate one closed foreground perf window at simulated time
+     * @p now (used only to stamp emitted events).
+     */
+    SloTransition onWindow(Seconds now, const PerfWindow &w);
+
+    /** The monitor currently considers the SLO breached. */
+    bool inBreach() const { return inBreach_; }
+    /** Breaches declared over the monitor's lifetime. */
+    std::uint64_t breaches() const { return breaches_; }
+    /** Windows evaluated (excludes unusable ones). */
+    std::uint64_t windows() const { return windows_; }
+    /** Windows evaluated while in breach. */
+    std::uint64_t breachWindows() const { return breachWindows_; }
+    /** Newest short/long-window burn rates (0 until enough data). */
+    double shortBurn() const { return shortBurn_; }
+    double longBurn() const { return longBurn_; }
+    /** Newest single-window slowdown estimate. */
+    double lastSlowdown() const { return lastSlowdown_; }
+    /** Breach/recovery events, in order. */
+    const std::vector<HealthEvent> &healthLog() const { return health_; }
+
+    const SloMonitorConfig &config() const { return cfg_; }
+
+  private:
+    double windowMean(const std::deque<double> &win) const;
+
+    SloMonitorConfig cfg_;
+    double baselineIps_ = 0.0;
+    std::deque<double> shortWin_;
+    std::deque<double> longWin_;
+    bool inBreach_ = false;
+    unsigned burnStreak_ = 0;
+    unsigned calmStreak_ = 0;
+    std::uint64_t breaches_ = 0;
+    std::uint64_t windows_ = 0;
+    std::uint64_t breachWindows_ = 0;
+    double shortBurn_ = 0.0;
+    double longBurn_ = 0.0;
+    double lastSlowdown_ = 0.0;
+    std::vector<HealthEvent> health_;
+};
+
+/**
+ * PartitionController adapter that feeds the foreground's windows to a
+ * @ref SloMonitor and then delegates to an optional inner controller
+ * unchanged. Monitoring composes with any policy this way: the shared
+ * and static policies get a monitor where they had no controller at
+ * all, and the dynamic policy keeps its controller untouched.
+ */
+class SloController : public PartitionController
+{
+  public:
+    /**
+     * @param fg      the monitored foreground application.
+     * @param monitor evaluated on each of @p fg's windows (not owned).
+     * @param inner   controller to delegate every window to, or nullptr.
+     */
+    SloController(AppId fg, SloMonitor *monitor,
+                  PartitionController *inner = nullptr);
+
+    void onWindow(System &sys, AppId app, const PerfWindow &w) override;
+
+  private:
+    AppId fg_;
+    SloMonitor *monitor_;
+    PartitionController *inner_;
+};
+
+} // namespace capart
+
+#endif // CAPART_CORE_SLO_MONITOR_HH

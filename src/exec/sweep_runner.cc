@@ -1,5 +1,6 @@
 #include "exec/sweep_runner.hh"
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 
@@ -10,6 +11,7 @@
 #include "exec/result_cache.hh"
 #include "exec/thread_pool.hh"
 #include "obs/metrics.hh"
+#include "obs/run_ledger.hh"
 #include "obs/trace.hh"
 #include "sim/experiment.hh"
 #include "workload/catalog.hh"
@@ -107,6 +109,85 @@ runSpec(const ExperimentSpec &spec, std::uint64_t base_seed)
     return out;
 }
 
+namespace
+{
+
+double
+unixMillisNow()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Flatten one finished point into a ledger record. */
+obs::RunRecord
+pointRecord(const SweepRunnerOptions &opts, const ExperimentSpec &spec,
+            const SweepResult &r, double wall_ms)
+{
+    obs::RunRecord rec;
+    rec.kind = "point";
+    rec.bench = opts.benchName;
+    rec.run = opts.runId;
+    rec.spec = spec.canonical();
+    rec.specHash = spec.hash();
+    rec.seed = opts.baseSeed;
+    rec.tsMs = unixMillisNow();
+    rec.wallMs = wall_ms;
+    rec.simS = r.time;
+    rec.fromCache = r.fromCache;
+    auto &m = rec.metrics;
+    m.emplace_back("time_s", r.time);
+    m.emplace_back("socket_energy_j", r.socketEnergy);
+    m.emplace_back("wall_energy_j", r.wallEnergy);
+    m.emplace_back("mpki", r.mpki);
+    m.emplace_back("apki", r.apki);
+    m.emplace_back("ipc", r.ipc);
+    if (r.bgThroughput > 0.0)
+        m.emplace_back("bg_throughput_ips", r.bgThroughput);
+    m.emplace_back("timed_out", r.timedOut ? 1.0 : 0.0);
+    for (const Policy p : {Policy::Shared, Policy::Fair, Policy::Biased,
+                           Policy::Dynamic}) {
+        const PolicyOutcome &po = r.policy[static_cast<int>(p)];
+        if (!po.present)
+            continue;
+        const std::string prefix = policyName(p);
+        m.emplace_back(prefix + ".fg_slowdown", po.fgSlowdown);
+        m.emplace_back(prefix + ".bg_throughput_ips", po.bgThroughput);
+        m.emplace_back(prefix + ".energy_vs_seq", po.energyVsSequential);
+        m.emplace_back(prefix + ".wall_energy_vs_seq",
+                       po.wallEnergyVsSequential);
+        m.emplace_back(prefix + ".weighted_speedup", po.weightedSpeedup);
+        m.emplace_back(prefix + ".fg_ways",
+                       static_cast<double>(po.fgWays));
+    }
+    // Headline cross-policy ratios (Figs. 9/13): how close dynamic and
+    // shared come to the biased oracle's background throughput, and
+    // what the dynamic policy pays in foreground slowdown for it.
+    const PolicyOutcome &biased =
+        r.policy[static_cast<int>(Policy::Biased)];
+    const PolicyOutcome &dynamic =
+        r.policy[static_cast<int>(Policy::Dynamic)];
+    const PolicyOutcome &shared =
+        r.policy[static_cast<int>(Policy::Shared)];
+    if (biased.present && biased.bgThroughput > 0.0) {
+        if (dynamic.present) {
+            m.emplace_back("dynamic.bg_vs_biased",
+                           dynamic.bgThroughput / biased.bgThroughput);
+            m.emplace_back("dynamic.fg_delta_vs_biased",
+                           dynamic.fgSlowdown - biased.fgSlowdown);
+        }
+        if (shared.present) {
+            m.emplace_back("shared.bg_vs_biased",
+                           shared.bgThroughput / biased.bgThroughput);
+        }
+    }
+    return rec;
+}
+
+} // namespace
+
 SweepRunner::SweepRunner(SweepRunnerOptions opts) : opts_(std::move(opts))
 {
 }
@@ -137,6 +218,11 @@ SweepRunner::run(const std::vector<ExperimentSpec> &specs)
         if (cache && cache->lookup(key, &results[i])) {
             if (obs::enabled())
                 obs::metrics().counter("exec.cache_hits").inc();
+            if (opts_.ledger) {
+                results[i].fromCache = true;
+                opts_.ledger->append(
+                    pointRecord(opts_, specs[i], results[i], 0.0));
+            }
             std::lock_guard<std::mutex> lock(progress_mutex);
             report();
         } else {
@@ -149,9 +235,16 @@ SweepRunner::run(const std::vector<ExperimentSpec> &specs)
                                   {{"index", static_cast<double>(i)}});
         if (obs::enabled())
             obs::metrics().counter("exec.points_computed").inc();
+        const auto start = std::chrono::steady_clock::now();
         const SweepResult r = runSpec(specs[i], opts_.baseSeed);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
         if (cache)
             cache->store(specCacheKey(specs[i], opts_.baseSeed), r);
+        if (opts_.ledger)
+            opts_.ledger->append(pointRecord(opts_, specs[i], r, wall_ms));
         results[i] = r;
         std::lock_guard<std::mutex> lock(progress_mutex);
         report();

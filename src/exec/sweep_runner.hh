@@ -22,6 +22,11 @@
 
 #include "exec/experiment_spec.hh"
 
+namespace capart::obs
+{
+class RunLedger;
+} // namespace capart::obs
+
 namespace capart::exec
 {
 
@@ -86,6 +91,19 @@ struct SweepRunnerOptions
      * nondeterministic under --jobs > 1 (results are not).
      */
     std::function<void(std::size_t done, std::size_t total)> progress;
+    /**
+     * Append one `point` record per finished spec (cache hits
+     * included, flagged as cached) to this ledger; nullptr disables.
+     * Records land in completion order, which is nondeterministic
+     * under --jobs > 1 — readers group by run id and spec hash, never
+     * by file position. Recording is output-only and cannot perturb
+     * results.
+     */
+    obs::RunLedger *ledger = nullptr;
+    /** Bench name stamped on ledger records (e.g. "fig13_dynamic"). */
+    std::string benchName;
+    /** Invocation id shared by all of this run's ledger records. */
+    std::string runId;
 };
 
 /** Fans specs across a thread pool; results in submission order. */

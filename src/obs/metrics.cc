@@ -81,6 +81,50 @@ writeJsonSection(std::ostream &os, const char *title, const Map &map,
 
 } // namespace
 
+double
+Histogram::percentile(double q) const
+{
+    // Snapshot the buckets once: concurrent record() calls may land
+    // while we walk, and a consistent-if-slightly-stale view beats a
+    // torn one.
+    std::array<std::uint64_t, kBuckets> snap;
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        snap[i] = buckets_[i].load(std::memory_order_relaxed);
+        total += snap[i];
+    }
+    if (total == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double target = q * static_cast<double>(total);
+    double before = 0.0;
+    unsigned last_nonempty = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        if (snap[i] == 0)
+            continue;
+        last_nonempty = i;
+        const double n = static_cast<double>(snap[i]);
+        if (before + n >= target) {
+            const double lo =
+                static_cast<double>(bucketLowerBound(i));
+            const double hi = static_cast<double>(bucketBound(i));
+            double frac = (target - before) / n;
+            if (frac < 0.0)
+                frac = 0.0;
+            if (frac > 1.0)
+                frac = 1.0;
+            return lo + frac * (hi - lo);
+        }
+        before += n;
+    }
+    // Floating-point slack pushed the target past the running sum:
+    // the answer is the top of the highest occupied bucket.
+    return static_cast<double>(bucketBound(last_nonempty));
+}
+
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
@@ -131,6 +175,9 @@ MetricsRegistry::writeJson(std::ostream &os) const
         os, "histograms", histograms_,
         [](std::ostream &o, const Histogram &h) {
             o << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
+              << ", \"p50\": " << h.percentile(0.50)
+              << ", \"p90\": " << h.percentile(0.90)
+              << ", \"p99\": " << h.percentile(0.99)
               << ", \"buckets\": [";
             bool first = true;
             for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
@@ -161,6 +208,12 @@ MetricsRegistry::writeCsv(std::ostream &os) const
     for (const auto &[name, h] : histograms_) {
         os << "histogram," << name << ",count," << h->count() << "\n";
         os << "histogram," << name << ",sum," << h->sum() << "\n";
+        os << "histogram," << name << ",p50," << h->percentile(0.50)
+           << "\n";
+        os << "histogram," << name << ",p90," << h->percentile(0.90)
+           << "\n";
+        os << "histogram," << name << ",p99," << h->percentile(0.99)
+           << "\n";
         for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
             const std::uint64_t n = h->bucket(i);
             if (n == 0)
@@ -169,6 +222,17 @@ MetricsRegistry::writeCsv(std::ostream &os) const
                << Histogram::bucketBound(i) << "," << n << "\n";
         }
     }
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::counterSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        out.emplace_back(name, static_cast<double>(c->value()));
+    return out;
 }
 
 void

@@ -29,6 +29,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/obs.hh"
 
@@ -122,6 +124,21 @@ class Histogram
         return (1ULL << i) - 1;
     }
 
+    /** Inclusive lower bound of bucket @p i (0 for the first). */
+    static std::uint64_t
+    bucketLowerBound(unsigned i)
+    {
+        return i == 0 ? 0 : bucketBound(i - 1) + 1;
+    }
+
+    /**
+     * Approximate quantile @p q in [0, 1], linearly interpolated
+     * inside the winning power-of-two bucket (so the estimate is
+     * exact to within that bucket's span). Returns 0 for an empty
+     * histogram. Export-time only — walks every bucket.
+     */
+    double percentile(double q) const;
+
     void
     reset()
     {
@@ -151,12 +168,23 @@ class MetricsRegistry
     /**
      * {"counters": {...}, "gauges": {...}, "histograms": {...}} with
      * histogram buckets as [{"le": bound, "n": count}, ...] (zero
-     * buckets omitted).
+     * buckets omitted) plus p50/p90/p99 summaries interpolated from
+     * the log2 buckets.
      */
     void writeJson(std::ostream &os) const;
 
-    /** One `kind,name,stat,value` row per scalar / histogram bucket. */
+    /**
+     * One `kind,name,stat,value` row per scalar / histogram bucket,
+     * with p50/p90/p99 rows per histogram.
+     */
     void writeCsv(std::ostream &os) const;
+
+    /**
+     * Snapshot of every counter as (name, value) in export order —
+     * what the run ledger embeds in bench records. Values ride as
+     * doubles (exact below 2^53, far beyond any real counter).
+     */
+    std::vector<std::pair<std::string, double>> counterSnapshot() const;
 
     /** Zero every metric's value; registered names persist. */
     void reset();

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Append-only JSONL run ledger: the durable record every experiment
+ * run leaves behind.
+ *
+ * One ledger is one file of newline-delimited JSON records. Two kinds
+ * of record exist:
+ *
+ *  - `point`  — one @ref capart::exec::SweepRunner sweep point: the
+ *    spec's canonical encoding and hash, the base seed, host wall time,
+ *    simulated time, cache provenance, and the point's headline figures
+ *    (FG slowdown, BG throughput, energy deltas) as a flat name→value
+ *    metric map;
+ *  - `bench`  — one bench-binary invocation: total wall time plus a
+ *    snapshot of the observability counters at exit.
+ *
+ * Records carry a `run` id (bench + seed + start timestamp) so a single
+ * growing ledger holds the full trajectory of repeated runs; the report
+ * layer (src/report) groups by that id and pairs points across runs by
+ * spec hash. Writes are crash-safe line-at-a-time: each record is
+ * serialized whole, written with one call, and flushed, so a killed run
+ * can truncate at most the final line — which load() tolerates by
+ * skipping anything that does not parse.
+ *
+ * The ledger is observability *output*, never input: nothing in the
+ * simulator reads it, so ledger recording cannot perturb results (the
+ * same contract as the rest of src/obs). It stays functional under
+ * CAPART_OBS=OFF — only the counter snapshots become empty.
+ */
+
+#ifndef CAPART_OBS_RUN_LEDGER_HH
+#define CAPART_OBS_RUN_LEDGER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace capart::obs
+{
+
+/** One ledger line; plain data, serializable both ways. */
+struct RunRecord
+{
+    /** "point" (sweep point) or "bench" (whole binary invocation). */
+    std::string kind = "point";
+    /** Bench the record belongs to (e.g. "fig13_dynamic"). */
+    std::string bench;
+    /** Invocation id shared by every record of one run. */
+    std::string run;
+    /** Canonical ExperimentSpec encoding ("" for bench records). */
+    std::string spec;
+    /** FNV-1a hash of the spec (0 for bench records). */
+    std::uint64_t specHash = 0;
+    /** Base seed of the run (spec seeds derive from it). */
+    std::uint64_t seed = 0;
+    /** Wall-clock unix epoch milliseconds when the record was made. */
+    double tsMs = 0.0;
+    /** Host milliseconds the unit of work took. */
+    double wallMs = 0.0;
+    /** Simulated seconds the unit covered (points only). */
+    double simS = 0.0;
+    /** The point was replayed from the on-disk result cache. */
+    bool fromCache = false;
+    /** Headline figures, flat name → value (insertion-ordered). */
+    std::vector<std::pair<std::string, double>> metrics;
+    /** Observability counter snapshot (bench records). */
+    std::vector<std::pair<std::string, double>> counters;
+
+    /** Value of metric @p name, or @p fallback when absent. */
+    double metric(const std::string &name, double fallback = 0.0) const;
+};
+
+/** Thread-safe appender plus tolerant loader; see file comment. */
+class RunLedger
+{
+  public:
+    /** Open @p path for appending (parent directory must exist). */
+    explicit RunLedger(std::string path);
+
+    /** Serialize @p rec as one line, write it whole, and flush. */
+    void append(const RunRecord &rec);
+
+    const std::string &path() const { return path_; }
+
+    /** Records appended through this instance (not the file total). */
+    std::uint64_t appended() const;
+
+    /** The file opened successfully; append() is a no-op otherwise. */
+    bool ok() const { return ok_; }
+
+    /** Result of loading a ledger file. */
+    struct LoadResult
+    {
+        std::vector<RunRecord> records;
+        /** Lines skipped because they failed to parse (torn tails). */
+        std::uint64_t skipped = 0;
+    };
+
+    /**
+     * Read every parseable record of @p path in file order. Unparsable
+     * lines — a truncated tail after a crash, foreign text — are
+     * counted in `skipped`, never fatal. A missing file is simply an
+     * empty ledger.
+     */
+    static LoadResult load(const std::string &path);
+
+    /** Serialize / parse one record line (exposed for tests). */
+    static std::string encode(const RunRecord &rec);
+    static bool decode(const std::string &line, RunRecord *out);
+
+  private:
+    std::string path_;
+    mutable std::mutex mutex_;
+    std::ofstream file_;
+    bool ok_ = false;
+    std::uint64_t appended_ = 0;
+};
+
+} // namespace capart::obs
+
+#endif // CAPART_OBS_RUN_LEDGER_HH

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace capart::obs
 {
@@ -73,6 +74,13 @@ Tracer::record(const char *name, const char *cat, double ts_us,
                std::initializer_list<TraceArg> args, Track track)
 {
     Ring &r = ring();
+    if (r.recorded >= r.buf.size()) {
+        // The slot we are about to take still holds a retained event:
+        // this write evicts it. Count the loss so exports can say how
+        // much of the timeline the ring forgot.
+        static Counter &drops = metrics().counter("trace.dropped");
+        drops.inc();
+    }
     Event &e = r.buf[r.next];
     e.name = name;
     e.cat = cat;
@@ -151,9 +159,12 @@ Tracer::writeChromeTrace(std::ostream &os) const
     // event first), then sort the union by timestamp. Recording threads
     // may still be appending; the snapshot is whatever has landed.
     std::vector<Event> events;
+    std::uint64_t dropped_events = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (const auto &r : rings_) {
+            if (r->recorded > r->buf.size())
+                dropped_events += r->recorded - r->buf.size();
             const std::size_t cap = r->buf.size();
             const std::size_t n =
                 static_cast<std::size_t>(std::min<std::uint64_t>(
@@ -200,7 +211,8 @@ Tracer::writeChromeTrace(std::ostream &os) const
         }
         os << "}";
     }
-    os << "\n]}\n";
+    os << "\n], \"metadata\": {\"dropped_events\": " << dropped_events
+       << ", \"retained_events\": " << events.size() << "}}\n";
 }
 
 Tracer &

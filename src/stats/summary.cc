@@ -91,4 +91,28 @@ weightedSpeedup(const std::vector<double> &solo_times,
     return sequential / makespan;
 }
 
+double
+signTestPValue(unsigned wins, unsigned losses)
+{
+    const unsigned n = wins + losses;
+    if (n == 0)
+        return 1.0;
+    // P[X >= wins] for X ~ Binomial(n, 1/2), summed in log space so
+    // large n cannot overflow the binomial coefficients.
+    double p = 0.0;
+    double log_choose = 0.0; // log C(n, 0)
+    const double log_half_n =
+        static_cast<double>(n) * std::log(0.5);
+    for (unsigned k = 0; k <= n; ++k) {
+        if (k >= wins)
+            p += std::exp(log_choose + log_half_n);
+        // C(n, k+1) = C(n, k) * (n - k) / (k + 1)
+        if (k < n) {
+            log_choose += std::log(static_cast<double>(n - k)) -
+                          std::log(static_cast<double>(k + 1));
+        }
+    }
+    return std::min(p, 1.0);
+}
+
 } // namespace capart

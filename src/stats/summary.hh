@@ -94,6 +94,17 @@ double maxOf(const std::vector<double> &xs);
 double weightedSpeedup(const std::vector<double> &solo_times,
                        const std::vector<double> &corun_times);
 
+/**
+ * One-sided sign test: the probability of seeing >= @p wins successes
+ * in @p wins + @p losses fair coin flips (ties are excluded by the
+ * caller). This is the p-value for "current is genuinely worse than
+ * baseline" when each paired sweep point that moved in the worse
+ * direction counts as a win. Distribution-free, so it needs no
+ * assumption about how per-point deltas are shaped. Returns 1 when
+ * there are no untied pairs.
+ */
+double signTestPValue(unsigned wins, unsigned losses);
+
 } // namespace capart
 
 #endif // CAPART_STATS_SUMMARY_HH

@@ -5,9 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "common/json.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "common/units.hh"
@@ -95,6 +101,101 @@ TEST(Rng, ChanceMatchesProbability)
     for (int i = 0; i < 20000; ++i)
         hits += r.chance(0.3);
     EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Json, ParseDumpRoundTrip)
+{
+    const std::string text =
+        "{\"a\":1.5,\"b\":\"x\\\"y\",\"c\":[true,false,null],"
+        "\"d\":{\"nested\":-2}}";
+    const auto doc = Json::parse(text);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_DOUBLE_EQ(doc->at("a").asNum(), 1.5);
+    EXPECT_EQ(doc->at("b").asStr(), "x\"y");
+    ASSERT_EQ(doc->at("c").arr.size(), 3u);
+    EXPECT_TRUE(doc->at("c").arr[0].asBool());
+    EXPECT_TRUE(doc->at("c").arr[2].isNull());
+    EXPECT_DOUBLE_EQ(doc->at("d").at("nested").asNum(), -2.0);
+    // dump() of a parsed document must parse back to the same values.
+    const auto again = Json::parse(doc->dump());
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->dump(), doc->dump());
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    EXPECT_FALSE(Json::parse("").has_value());
+    EXPECT_FALSE(Json::parse("{").has_value());
+    EXPECT_FALSE(Json::parse("{\"a\":}").has_value());
+    EXPECT_FALSE(Json::parse("{} trailing").has_value())
+        << "trailing garbage must fail, not be ignored";
+    EXPECT_FALSE(Json::parse("[1,]").has_value());
+    EXPECT_FALSE(Json::parse("nul").has_value());
+}
+
+TEST(Json, AbsentKeysChainToNullWithFallbacks)
+{
+    const auto doc = Json::parse("{\"a\":{\"b\":3}}");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_TRUE(doc->at("missing").isNull());
+    EXPECT_TRUE(doc->at("missing").at("deeper").isNull());
+    EXPECT_DOUBLE_EQ(doc->at("missing").asNum(7.0), 7.0);
+    EXPECT_EQ(doc->at("missing").asStr("dflt"), "dflt");
+}
+
+TEST(Logging, LevelNamesRoundTrip)
+{
+    for (LogLevel lvl : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                         LogLevel::Error}) {
+        LogLevel back{};
+        ASSERT_TRUE(parseLogLevel(logLevelName(lvl), &back));
+        EXPECT_EQ(back, lvl);
+    }
+    LogLevel out{};
+    EXPECT_FALSE(parseLogLevel("verbose", &out));
+    EXPECT_FALSE(parseLogLevel("", &out));
+}
+
+TEST(Logging, SinkWritesParsableJsonlAndFiltersByLevel)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "capart-log-test.jsonl")
+            .string();
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(logEnabled(LogLevel::Error)) << "no sink: disabled";
+    setLogSink(path);
+    setLogLevel(LogLevel::Info);
+    EXPECT_TRUE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+
+    logEvent(LogLevel::Info, "unit.test",
+             {{"t_s", 1.25},
+              {"kind", "breach"},
+              {"count", std::uint64_t{0xffffffffffffffffULL}},
+              {"ok", true}});
+    logEvent(LogLevel::Debug, "unit.dropped"); // filtered out
+    setLogSink(""); // close and flush
+
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 1u) << "debug event must be filtered";
+
+    const auto doc = Json::parse(lines[0]);
+    ASSERT_TRUE(doc.has_value()) << "log line must be valid JSON";
+    EXPECT_EQ(doc->at("level").asStr(), "info");
+    EXPECT_EQ(doc->at("event").asStr(), "unit.test");
+    EXPECT_DOUBLE_EQ(doc->at("t_s").asNum(), 1.25);
+    EXPECT_EQ(doc->at("kind").asStr(), "breach");
+    EXPECT_NE(lines[0].find("\"count\":18446744073709551615"),
+              std::string::npos)
+        << "u64 fields print all 64 bits, not a rounded double";
+    EXPECT_TRUE(doc->at("ok").asBool());
+    EXPECT_GT(doc->at("ts_ms").asNum(), 0.0);
+
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 #include "core/co_scheduler.hh"
 #include "core/dynamic_partitioner.hh"
 #include "core/phase_detector.hh"
+#include "core/slo_monitor.hh"
 #include "core/static_policies.hh"
 #include "workload/catalog.hh"
 
@@ -609,6 +610,197 @@ TEST(CoScheduler, CachesRepeatedQueries)
     const PairResult &a = cs.runPolicy(Policy::Shared, true);
     const PairResult &b = cs.runPolicy(Policy::Shared, true);
     EXPECT_EQ(&a, &b) << "same object: cached, not re-run";
+}
+
+// ---------------------------------------------------------- SloMonitor --
+
+/**
+ * A window whose IPS is baseline / slowdown: the monitor should
+ * estimate exactly @p slowdown from it.
+ */
+PerfWindow
+sloWindow(double slowdown, double baseline_ips = 1e9)
+{
+    PerfWindow w;
+    w.start = 0.0;
+    w.end = 1e-3;
+    w.insts = static_cast<Insts>(baseline_ips / slowdown * 1e-3);
+    return w;
+}
+
+SloMonitorConfig
+tightSloConfig()
+{
+    SloMonitorConfig cfg;
+    cfg.slo = 1.02;
+    cfg.shortWindows = 2;
+    cfg.longWindows = 4;
+    cfg.confirmWindows = 2;
+    cfg.recoveryWindows = 3;
+    return cfg;
+}
+
+TEST(SloMonitorConfig, RejectsImpossibleConfigurations)
+{
+    const auto dies = [](auto mutate) {
+        SloMonitorConfig cfg;
+        mutate(cfg);
+        EXPECT_DEATH(cfg.validate(), "SloMonitorConfig");
+    };
+    dies([](SloMonitorConfig &c) { c.slo = 1.0; });
+    dies([](SloMonitorConfig &c) { c.shortWindows = 0; });
+    dies([](SloMonitorConfig &c) {
+        c.shortWindows = 8;
+        c.longWindows = 4;
+    });
+    dies([](SloMonitorConfig &c) { c.burnThreshold = 0.0; });
+    dies([](SloMonitorConfig &c) { c.confirmWindows = 0; });
+    SloMonitorConfig ok;
+    ok.validate(); // defaults must be valid
+}
+
+TEST(SloMonitor, IgnoresWindowsBeforeBaselineAndUnusableWindows)
+{
+    SloMonitor mon(tightSloConfig());
+    EXPECT_EQ(mon.onWindow(0.0, sloWindow(2.0)), SloTransition::None);
+    EXPECT_EQ(mon.windows(), 0u) << "no baseline yet";
+
+    mon.setBaseline(1e9);
+    PerfWindow empty;
+    EXPECT_EQ(mon.onWindow(0.0, empty), SloTransition::None);
+    EXPECT_EQ(mon.windows(), 0u) << "zero-span window must not count";
+}
+
+TEST(SloMonitor, EstimatesSlowdownPerWindow)
+{
+    SloMonitor mon(tightSloConfig());
+    mon.setBaseline(1e9);
+    mon.onWindow(0.0, sloWindow(1.10));
+    EXPECT_NEAR(mon.lastSlowdown(), 1.10, 1e-3);
+    // burn = (slowdown - 1) / (slo - 1) = 0.10 / 0.02 = 5.
+    EXPECT_NEAR(mon.shortBurn(), 5.0, 0.1);
+}
+
+TEST(SloMonitor, SingleBadWindowDoesNotBreach)
+{
+    SloMonitor mon(tightSloConfig());
+    mon.setBaseline(1e9);
+    EXPECT_EQ(mon.onWindow(0.0, sloWindow(1.50)), SloTransition::None)
+        << "one burning window is below confirmWindows";
+    EXPECT_EQ(mon.onWindow(1e-3, sloWindow(1.00)), SloTransition::None);
+    EXPECT_EQ(mon.onWindow(2e-3, sloWindow(1.50)), SloTransition::None)
+        << "a second lone spike must not flap into breach";
+    EXPECT_FALSE(mon.inBreach());
+    EXPECT_EQ(mon.breaches(), 0u);
+}
+
+TEST(SloMonitor, SustainedBurnBreachesThenRecovers)
+{
+    SloMonitor mon(tightSloConfig());
+    mon.setBaseline(1e9);
+
+    // Sustained 10% slowdown against a 2% SLO: breach confirmed on the
+    // second consecutive burning evaluation (longWindows mean needs a
+    // couple of windows to climb past the threshold too).
+    SloTransition tr = SloTransition::None;
+    unsigned breach_at = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        tr = mon.onWindow(i * 1e-3, sloWindow(1.10));
+        if (tr == SloTransition::Breach) {
+            breach_at = i;
+            break;
+        }
+    }
+    ASSERT_EQ(tr, SloTransition::Breach);
+    EXPECT_GE(breach_at, 1u) << "confirmWindows=2 forbids instant breach";
+    EXPECT_TRUE(mon.inBreach());
+    EXPECT_EQ(mon.breaches(), 1u);
+
+    // Healthy again: recovery only after recoveryWindows clean windows.
+    unsigned clean = 0;
+    tr = SloTransition::None;
+    for (unsigned i = 0; i < 16 && tr != SloTransition::Recovered; ++i) {
+        tr = mon.onWindow((8 + i) * 1e-3, sloWindow(1.00));
+        ++clean;
+    }
+    ASSERT_EQ(tr, SloTransition::Recovered);
+    EXPECT_GE(clean, 3u) << "recoveryWindows=3 forbids instant recovery";
+    EXPECT_FALSE(mon.inBreach());
+
+    ASSERT_EQ(mon.healthLog().size(), 2u);
+    EXPECT_EQ(mon.healthLog()[0].kind, HealthEventKind::SloBreach);
+    EXPECT_EQ(mon.healthLog()[1].kind, HealthEventKind::SloRecovered);
+    EXPECT_GT(mon.breachWindows(), 0u);
+    EXPECT_LT(mon.breachWindows(), mon.windows());
+}
+
+TEST(SloController, FiltersForegroundAndDelegates)
+{
+    struct Recorder : PartitionController
+    {
+        unsigned calls = 0;
+        void
+        onWindow(System &, AppId, const PerfWindow &) override
+        {
+            ++calls;
+        }
+    };
+
+    SloMonitor mon(tightSloConfig());
+    mon.setBaseline(1e9);
+    Recorder inner;
+    SloController ctrl(AppId{0}, &mon, &inner);
+
+    SystemConfig sys_cfg;
+    System sys(sys_cfg);
+    ctrl.onWindow(sys, AppId{0}, sloWindow(1.0));
+    ctrl.onWindow(sys, AppId{1}, sloWindow(1.0));
+    EXPECT_EQ(mon.windows(), 1u) << "only FG windows feed the monitor";
+    EXPECT_EQ(inner.calls, 2u) << "every window reaches the inner ctrl";
+}
+
+TEST(CoScheduler, SloMonitoringIsPureObservation)
+{
+    CoScheduleOptions plain;
+    plain.scale = kTestScale;
+    CoScheduler cs_plain(Catalog::byName("ferret"),
+                         Catalog::byName("dedup"), plain);
+    const ConsolidationSummary a = cs_plain.summarize(Policy::Shared);
+    EXPECT_EQ(cs_plain.lastSloMonitor(), nullptr);
+
+    CoScheduleOptions monitored = plain;
+    monitored.monitorSlo = true;
+    CoScheduler cs_mon(Catalog::byName("ferret"),
+                       Catalog::byName("dedup"), monitored);
+    const ConsolidationSummary b = cs_mon.summarize(Policy::Shared);
+
+    // Bit-identical results: the monitor observes, never actuates.
+    EXPECT_EQ(a.fgSlowdown, b.fgSlowdown);
+    EXPECT_EQ(a.bgThroughput, b.bgThroughput);
+    EXPECT_EQ(a.energyVsSequential, b.energyVsSequential);
+    EXPECT_EQ(a.weightedSpeedup, b.weightedSpeedup);
+
+    const SloMonitor *mon = cs_mon.lastSloMonitor();
+    ASSERT_NE(mon, nullptr);
+    EXPECT_GT(mon->windows(), 0u);
+    EXPECT_GT(mon->baseline(), 0.0);
+}
+
+TEST(CoScheduler, SloMonitorComposesWithDynamicController)
+{
+    CoScheduleOptions opts;
+    opts.scale = 0.05;
+    opts.system.perfWindow = 8e-6;
+    opts.monitorSlo = true;
+    CoScheduler cs(Catalog::byName("429.mcf"), Catalog::byName("dedup"),
+                   opts);
+    const ConsolidationSummary dy = cs.summarize(Policy::Dynamic);
+    EXPECT_NE(cs.lastDynamicController(), nullptr);
+    const SloMonitor *mon = cs.lastSloMonitor();
+    ASSERT_NE(mon, nullptr);
+    EXPECT_GT(mon->windows(), 0u)
+        << "monitor must see FG windows even with an inner controller";
+    (void)dy;
 }
 
 } // namespace

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -458,6 +459,91 @@ TEST(ObsMetrics, ResetZeroesValuesKeepsNames)
     EXPECT_EQ(reg.histogram("h").count(), 0u);
 }
 
+TEST(ObsMetrics, PercentileEdgeCases)
+{
+    obs::Histogram h;
+    // Empty histogram: every percentile is 0, not NaN or garbage.
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+
+    // A single sample: all percentiles land in its bucket.
+    h.record(5); // bucket (3, 7]
+    const double p50 = h.percentile(0.50);
+    EXPECT_GT(p50, 3.0);
+    EXPECT_LE(p50, 7.0);
+    EXPECT_LE(h.percentile(0.01), h.percentile(0.99));
+}
+
+TEST(ObsMetrics, PercentilesAreOrderedAndBucketAccurate)
+{
+    obs::Histogram h;
+    // 90 fast samples and 10 slow ones: p50 must sit in the fast
+    // bucket, p99 in the slow one, and the three must be ordered.
+    for (int i = 0; i < 90; ++i)
+        h.record(3); // bucket (1, 3]
+    for (int i = 0; i < 10; ++i)
+        h.record(1000); // bucket (511, 1023]
+    const double p50 = h.percentile(0.50);
+    const double p90 = h.percentile(0.90);
+    const double p99 = h.percentile(0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_LE(p50, 3.0);
+    EXPECT_GT(p99, 511.0);
+    EXPECT_LE(p99, 1023.0);
+}
+
+TEST(ObsMetrics, PercentileHandlesZeroAndOverflowBuckets)
+{
+    obs::Histogram zeros;
+    for (int i = 0; i < 8; ++i)
+        zeros.record(0); // bucket 0 has upper bound 0
+    EXPECT_DOUBLE_EQ(zeros.percentile(0.99), 0.0);
+
+    obs::Histogram huge;
+    huge.record(~0ULL); // lands in the saturating last bucket
+    const double p = huge.percentile(0.50);
+    EXPECT_GT(p, 0.0);
+    EXPECT_FALSE(std::isnan(p));
+}
+
+TEST(ObsMetrics, ExportsIncludePercentiles)
+{
+    obs::MetricsRegistry reg;
+    for (int i = 0; i < 100; ++i)
+        reg.histogram("lat").record(i < 90 ? 4 : 400);
+
+    std::ostringstream json;
+    reg.writeJson(json);
+    const Json root = parseJsonOrFail(json.str());
+    const Json &h = root.at("histograms").at("lat");
+    ASSERT_TRUE(h.has("p50"));
+    ASSERT_TRUE(h.has("p90"));
+    ASSERT_TRUE(h.has("p99"));
+    EXPECT_LE(h.at("p50").num, h.at("p90").num);
+    EXPECT_LE(h.at("p90").num, h.at("p99").num);
+    EXPECT_GT(h.at("p99").num, 255.0) << "p99 must reflect the slow tail";
+
+    std::ostringstream csv;
+    reg.writeCsv(csv);
+    EXPECT_NE(csv.str().find("histogram,lat,p50,"), std::string::npos);
+    EXPECT_NE(csv.str().find("histogram,lat,p99,"), std::string::npos);
+}
+
+TEST(ObsMetrics, CounterSnapshotListsAllCounters)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("a").inc(2);
+    reg.counter("b").inc(5);
+    reg.gauge("g").set(9.0); // gauges are not part of the snapshot
+    const auto snap = reg.counterSnapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    double total = 0;
+    for (const auto &[name, v] : snap)
+        total += v;
+    EXPECT_DOUBLE_EQ(total, 7.0);
+}
+
 // ------------------------------------------------------------- tracer --
 
 TEST(ObsTracer, RecordsNothingWhileDisabled)
@@ -539,6 +625,47 @@ TEST(ObsTracer, RingWrapKeepsMostRecentEvents)
     t.clear();
     EXPECT_EQ(t.eventCount(), 0u);
     EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(ObsTracer, ExportFooterReportsDroppedAndRetainedCounts)
+{
+    CAPART_REQUIRE_OBS_COMPILED_IN();
+    ObsEnabledGuard on;
+    const std::uint64_t drops_before =
+        obs::metrics().counter("trace.dropped").value();
+
+    constexpr std::size_t kCap = 4;
+    obs::Tracer t(kCap);
+    for (unsigned i = 0; i < 10; ++i)
+        t.instant("e", "test", static_cast<double>(i));
+
+    std::ostringstream os;
+    t.writeChromeTrace(os);
+    const Json root = parseJsonOrFail(os.str());
+    ASSERT_TRUE(root.has("metadata"))
+        << "trace export must carry a metadata footer";
+    EXPECT_DOUBLE_EQ(root.at("metadata").at("dropped_events").num, 6.0);
+    // Retained counts recorded events only, not the two clock-domain
+    // metadata records the exporter prepends.
+    EXPECT_DOUBLE_EQ(root.at("metadata").at("retained_events").num,
+                     static_cast<double>(kCap));
+
+    // The global drop counter moved by the same amount, so exporters
+    // that only see metrics still learn the trace was lossy.
+    EXPECT_EQ(obs::metrics().counter("trace.dropped").value(),
+              drops_before + 6);
+}
+
+TEST(ObsTracer, FullExportReportsZeroDropped)
+{
+    CAPART_REQUIRE_OBS_COMPILED_IN();
+    ObsEnabledGuard on;
+    obs::Tracer t(64);
+    t.instant("only", "test", 1.0);
+    std::ostringstream os;
+    t.writeChromeTrace(os);
+    const Json root = parseJsonOrFail(os.str());
+    EXPECT_DOUBLE_EQ(root.at("metadata").at("dropped_events").num, 0.0);
 }
 
 TEST(ObsTracer, SpansNestProperly)

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the run ledger (src/obs/run_ledger) and the regression
+ * reporting pipeline over it (src/report): record round-trips,
+ * crash-tolerant loading, run grouping, the BENCH_capart.json time
+ * series, and the pass/warn/fail gate — including the headline
+ * acceptance case, a synthetic 20% foreground-slowdown regression
+ * that must FAIL while an unperturbed re-run PASSes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "obs/run_ledger.hh"
+#include "report/report.hh"
+
+namespace capart
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+tempPath(const char *name)
+{
+    return (fs::temp_directory_path() /
+            (std::string("capart-report-test-") + name))
+        .string();
+}
+
+obs::RunRecord
+makeRecord()
+{
+    obs::RunRecord rec;
+    rec.kind = "point";
+    rec.bench = "fig13_dynamic";
+    rec.run = "fig13_dynamic-1-1000";
+    rec.spec = "capart-spec-v1|kind=consol|fg=a|bg=b";
+    rec.specHash = 0xdeadbeefcafef00dULL;
+    rec.seed = 0xffffffffffffffffULL; // exercises the exact u64 lane
+    rec.tsMs = 1.7e12;
+    rec.wallMs = 123.5;
+    rec.simS = 0.25;
+    rec.fromCache = true;
+    rec.metrics = {{"dynamic.fg_slowdown", 1.015},
+                   {"dynamic.bg_throughput_ips", 3.2e9}};
+    rec.counters = {{"sim.quanta", 421.0}};
+    return rec;
+}
+
+/**
+ * A synthetic run: @p n points with distinct spec hashes, FG slowdown
+ * @p slowdown and BG throughput @p bg_ips at every point.
+ */
+report::RunGroup
+syntheticRun(const std::string &id, double ts_ms, unsigned n,
+             double slowdown, double bg_ips)
+{
+    report::RunGroup g;
+    g.run = id;
+    g.bench = "synthetic";
+    g.startTsMs = ts_ms;
+    for (unsigned i = 0; i < n; ++i) {
+        obs::RunRecord rec;
+        rec.kind = "point";
+        rec.bench = g.bench;
+        rec.run = id;
+        rec.specHash = 0x1000 + i;
+        rec.tsMs = ts_ms + i;
+        rec.metrics = {{"dynamic.fg_slowdown", slowdown},
+                       {"dynamic.bg_throughput_ips", bg_ips}};
+        g.points.push_back(std::move(rec));
+    }
+    return g;
+}
+
+// ------------------------------------------------------------ ledger --
+
+TEST(RunLedger, EncodeDecodeRoundTripsEveryField)
+{
+    const obs::RunRecord rec = makeRecord();
+    const std::string line = obs::RunLedger::encode(rec);
+    EXPECT_EQ(line.find('\n'), std::string::npos)
+        << "a record must be exactly one line";
+
+    obs::RunRecord back;
+    ASSERT_TRUE(obs::RunLedger::decode(line, &back));
+    EXPECT_EQ(back.kind, rec.kind);
+    EXPECT_EQ(back.bench, rec.bench);
+    EXPECT_EQ(back.run, rec.run);
+    EXPECT_EQ(back.spec, rec.spec);
+    EXPECT_EQ(back.specHash, rec.specHash) << "u64 must round-trip exactly";
+    EXPECT_EQ(back.seed, rec.seed) << "u64 must round-trip exactly";
+    EXPECT_DOUBLE_EQ(back.tsMs, rec.tsMs);
+    EXPECT_DOUBLE_EQ(back.wallMs, rec.wallMs);
+    EXPECT_DOUBLE_EQ(back.simS, rec.simS);
+    EXPECT_EQ(back.fromCache, rec.fromCache);
+    ASSERT_EQ(back.metrics.size(), rec.metrics.size());
+    EXPECT_EQ(back.metrics[0].first, "dynamic.fg_slowdown");
+    EXPECT_DOUBLE_EQ(back.metrics[0].second, 1.015);
+    ASSERT_EQ(back.counters.size(), 1u);
+    EXPECT_DOUBLE_EQ(back.counters[0].second, 421.0);
+}
+
+TEST(RunLedger, DecodeRejectsGarbageAndWrongVersions)
+{
+    obs::RunRecord out;
+    EXPECT_FALSE(obs::RunLedger::decode("", &out));
+    EXPECT_FALSE(obs::RunLedger::decode("not json", &out));
+    EXPECT_FALSE(obs::RunLedger::decode("{\"v\":999,\"kind\":\"point\"}",
+                                        &out));
+    EXPECT_FALSE(obs::RunLedger::decode("{\"v\":1,\"kind\":\"mystery\"}",
+                                        &out));
+    // A truncated tail — the crash case load() must tolerate.
+    const std::string line = obs::RunLedger::encode(makeRecord());
+    EXPECT_FALSE(
+        obs::RunLedger::decode(line.substr(0, line.size() / 2), &out));
+}
+
+TEST(RunLedger, AppendThenLoadWithTornTail)
+{
+    const std::string path = tempPath("torn.jsonl");
+    std::remove(path.c_str());
+    {
+        obs::RunLedger ledger(path);
+        ASSERT_TRUE(ledger.ok());
+        ledger.append(makeRecord());
+        ledger.append(makeRecord());
+        EXPECT_EQ(ledger.appended(), 2u);
+    }
+    // Simulate a crash mid-write: a half record at the tail.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << obs::RunLedger::encode(makeRecord()).substr(0, 40);
+    }
+    const auto loaded = obs::RunLedger::load(path);
+    EXPECT_EQ(loaded.records.size(), 2u);
+    EXPECT_EQ(loaded.skipped, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(RunLedger, MissingFileLoadsAsEmpty)
+{
+    const auto loaded =
+        obs::RunLedger::load(tempPath("does-not-exist.jsonl"));
+    EXPECT_TRUE(loaded.records.empty());
+    EXPECT_EQ(loaded.skipped, 0u);
+}
+
+// ---------------------------------------------------------- grouping --
+
+TEST(Report, GroupsByRunIdAndSortsByStartTime)
+{
+    std::vector<obs::RunRecord> records;
+    const auto push = [&](const char *run, const char *kind, double ts) {
+        obs::RunRecord rec;
+        rec.run = run;
+        rec.kind = kind;
+        rec.bench = "b";
+        rec.tsMs = ts;
+        records.push_back(rec);
+    };
+    // Interleaved completion order, newer run first in the file.
+    push("run-b", "point", 2000.0);
+    push("run-a", "point", 1005.0);
+    push("run-b", "point", 2001.0);
+    push("run-a", "point", 1000.0);
+    push("run-a", "bench", 1900.0);
+
+    const auto groups = report::groupRuns(records);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].run, "run-a") << "groups sort by start time";
+    EXPECT_EQ(groups[0].points.size(), 2u);
+    EXPECT_EQ(groups[0].benchRecords.size(), 1u);
+    EXPECT_DOUBLE_EQ(groups[0].startTsMs, 1000.0)
+        << "start is the earliest record, not the first seen";
+    EXPECT_EQ(groups[1].run, "run-b");
+    EXPECT_EQ(groups[1].points.size(), 2u);
+}
+
+TEST(Report, MetricDirections)
+{
+    EXPECT_EQ(report::metricDirection("dynamic.fg_slowdown"), 1);
+    EXPECT_EQ(report::metricDirection("time_s"), 1);
+    EXPECT_EQ(report::metricDirection("socket_energy_j"), 1);
+    EXPECT_EQ(report::metricDirection("mpki"), 1);
+    EXPECT_EQ(report::metricDirection("shared.bg_throughput_ips"), -1);
+    EXPECT_EQ(report::metricDirection("ipc"), -1);
+    EXPECT_EQ(report::metricDirection("dynamic.weighted_speedup"), -1);
+    EXPECT_EQ(report::metricDirection("biased.fg_ways"), 0)
+        << "way counts are diagnostics, not gated";
+    EXPECT_EQ(report::metricDirection("something.unknown"), 0);
+}
+
+TEST(Report, BenchJsonIsValidAndOrdered)
+{
+    const std::vector<report::RunGroup> groups = {
+        syntheticRun("run-1", 1000.0, 3, 1.01, 3e9),
+        syntheticRun("run-2", 2000.0, 3, 1.02, 3.1e9),
+    };
+    std::ostringstream os;
+    report::writeBenchJson(os, groups);
+
+    const auto doc = Json::parse(os.str());
+    ASSERT_TRUE(doc.has_value()) << "BENCH json must parse";
+    EXPECT_EQ(doc->at("version").asNum(), 1.0);
+    const Json &runs = doc->at("runs");
+    ASSERT_EQ(runs.arr.size(), 2u);
+    EXPECT_EQ(runs.arr[0].at("run").asStr(), "run-1");
+    EXPECT_EQ(runs.arr[1].at("run").asStr(), "run-2");
+    EXPECT_EQ(runs.arr[0].at("points").asNum(), 3.0);
+    const Json &m =
+        runs.arr[0].at("metrics").at("dynamic.fg_slowdown");
+    EXPECT_DOUBLE_EQ(m.at("mean").asNum(), 1.01);
+    EXPECT_DOUBLE_EQ(m.at("min").asNum(), 1.01);
+    EXPECT_EQ(m.at("n").asNum(), 3.0);
+}
+
+// -------------------------------------------------------------- gate --
+
+TEST(Report, IdenticalRunsPass)
+{
+    const auto base = syntheticRun("base", 1000.0, 8, 1.01, 3e9);
+    const auto cur = syntheticRun("cur", 2000.0, 8, 1.01, 3e9);
+    const auto cmp = report::compareRuns(base, cur);
+    EXPECT_EQ(cmp.verdict, report::Verdict::Pass);
+    for (const auto &m : cmp.metrics) {
+        EXPECT_EQ(m.verdict, report::Verdict::Pass) << m.name;
+        EXPECT_EQ(m.pairs, 8u);
+    }
+}
+
+TEST(Report, SyntheticFgSlowdownRegressionFails)
+{
+    // The acceptance case: a 20% foreground-slowdown regression across
+    // every pair must FAIL the gate; the sign test has 8/8 worse pairs
+    // (p = 2^-8 < 0.05).
+    const auto base = syntheticRun("base", 1000.0, 8, 1.01, 3e9);
+    const auto cur = syntheticRun("cur", 2000.0, 8, 1.01 * 1.20, 3e9);
+    const auto cmp = report::compareRuns(base, cur);
+    EXPECT_EQ(cmp.verdict, report::Verdict::Fail);
+
+    bool found = false;
+    for (const auto &m : cmp.metrics) {
+        if (m.name != "dynamic.fg_slowdown")
+            continue;
+        found = true;
+        EXPECT_EQ(m.verdict, report::Verdict::Fail);
+        EXPECT_EQ(m.worse, 8u);
+        EXPECT_EQ(m.better, 0u);
+        EXPECT_LT(m.pValue, 0.05);
+        EXPECT_NEAR(m.relDelta, 0.20, 1e-9);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Report, ImprovementNeverFails)
+{
+    // 20% faster foreground and higher BG throughput: both metrics
+    // moved in the *better* direction; the gate must stay PASS.
+    const auto base = syntheticRun("base", 1000.0, 8, 1.25, 3e9);
+    const auto cur = syntheticRun("cur", 2000.0, 8, 1.01, 3.5e9);
+    const auto cmp = report::compareRuns(base, cur);
+    EXPECT_EQ(cmp.verdict, report::Verdict::Pass);
+}
+
+TEST(Report, ThroughputDropFailsInItsOwnDirection)
+{
+    const auto base = syntheticRun("base", 1000.0, 8, 1.01, 3e9);
+    const auto cur = syntheticRun("cur", 2000.0, 8, 1.01, 2.0e9);
+    const auto cmp = report::compareRuns(base, cur);
+    EXPECT_EQ(cmp.verdict, report::Verdict::Fail);
+}
+
+TEST(Report, SmallDriftOnlyWarns)
+{
+    const auto base = syntheticRun("base", 1000.0, 8, 1.00, 3e9);
+    const auto cur = syntheticRun("cur", 2000.0, 8, 1.03, 3e9);
+    const auto cmp = report::compareRuns(base, cur);
+    EXPECT_EQ(cmp.verdict, report::Verdict::Warn)
+        << "3% worse is past warn (2%) but short of fail (5%)";
+}
+
+TEST(Report, FewPairsCanStillFailWithoutSignificance)
+{
+    // With 3 pairs the sign test cannot reach p <= 0.05 (2^-3 = 0.125);
+    // the mean threshold and unanimous direction must carry the FAIL.
+    const auto base = syntheticRun("base", 1000.0, 3, 1.01, 3e9);
+    const auto cur = syntheticRun("cur", 2000.0, 3, 1.21, 3e9);
+    const auto cmp = report::compareRuns(base, cur);
+    EXPECT_EQ(cmp.verdict, report::Verdict::Fail);
+}
+
+TEST(Report, DisjointSpecsProduceNoPairs)
+{
+    auto base = syntheticRun("base", 1000.0, 4, 1.01, 3e9);
+    auto cur = syntheticRun("cur", 2000.0, 4, 2.0, 3e9);
+    for (auto &rec : cur.points)
+        rec.specHash += 0x999999; // no overlap with the baseline
+    const auto cmp = report::compareRuns(base, cur);
+    EXPECT_EQ(cmp.verdict, report::Verdict::Pass);
+    EXPECT_TRUE(cmp.metrics.empty())
+        << "metrics with zero pairs must not be compared";
+}
+
+TEST(Report, MarkdownContainsVerdictAndDeltas)
+{
+    const auto base = syntheticRun("base", 1000.0, 8, 1.01, 3e9);
+    const auto cur = syntheticRun("cur", 2000.0, 8, 1.01 * 1.20, 3e9);
+    const auto cmp = report::compareRuns(base, cur);
+    std::ostringstream os;
+    report::writeMarkdown(os, {base, cur}, &cmp, report::GateOptions{});
+    const std::string md = os.str();
+    EXPECT_NE(md.find("Regression gate: FAIL"), std::string::npos);
+    EXPECT_NE(md.find("dynamic.fg_slowdown"), std::string::npos);
+    EXPECT_NE(md.find("| run |"), std::string::npos);
+}
+
+} // namespace
+} // namespace capart

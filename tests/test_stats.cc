@@ -171,5 +171,75 @@ TEST(RateWindow, StaleOutOfOrderSampleIsDroppedNotResurrected)
     EXPECT_NEAR(w.rate(9.9e-3), 2500.0 / 4e-3, 1.0);
 }
 
+TEST(Summary, SignTestKnownValues)
+{
+    // No untied pairs: nothing to test, p = 1.
+    EXPECT_DOUBLE_EQ(signTestPValue(0, 0), 1.0);
+    // All-ties-broken-one-way cases are exact powers of two.
+    EXPECT_DOUBLE_EQ(signTestPValue(1, 0), 0.5);
+    EXPECT_DOUBLE_EQ(signTestPValue(5, 0), 1.0 / 32.0);
+    EXPECT_DOUBLE_EQ(signTestPValue(6, 0), 1.0 / 64.0)
+        << "six unanimous pairs is the first p <= 0.05";
+    // P[X >= 0] is certain; P[X >= 3 of 6] = 42/64.
+    EXPECT_DOUBLE_EQ(signTestPValue(0, 4), 1.0);
+    EXPECT_NEAR(signTestPValue(3, 3), 42.0 / 64.0, 1e-12);
+    // 8-of-10: C(10,8)+C(10,9)+C(10,10) = 56 of 1024.
+    EXPECT_NEAR(signTestPValue(8, 2), 56.0 / 1024.0, 1e-12);
+}
+
+TEST(Summary, SignTestIsMonotoneAndStableAtScale)
+{
+    // More wins at fixed n must never raise the p-value.
+    double prev = 1.0;
+    for (unsigned wins = 0; wins <= 20; ++wins) {
+        const double p = signTestPValue(wins, 20 - wins);
+        EXPECT_LE(p, prev + 1e-15) << "wins=" << wins;
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+        prev = p;
+    }
+    // Large n exercises the log-space path: C(500, 250)-scale terms
+    // overflow doubles if summed directly.
+    const double p = signTestPValue(300, 200);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1e-4) << "300/500 worse is overwhelmingly significant";
+    // 2^-500 ~= 3e-151: tiny but representable; the log-space sum must
+    // deliver it instead of underflowing partway to zero or NaN.
+    EXPECT_NEAR(signTestPValue(500, 0), std::exp2(-500.0), 1e-160);
+}
+
+TEST(Table, CsvQuotesCommasOnly)
+{
+    Table t({"name", "value"});
+    t.addRow({"plain", "1"});
+    t.addRow({"a,b", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,value\nplain,1\n\"a,b\",2\n");
+}
+
+TEST(Table, EmptyTableStillPrintsHeader)
+{
+    Table t({"col"});
+    EXPECT_EQ(t.rows(), 0u);
+    std::ostringstream aligned;
+    t.print(aligned);
+    EXPECT_NE(aligned.str().find("col"), std::string::npos);
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_EQ(csv.str(), "col\n");
+}
+
+TEST(Summary, StddevAndMaxOf)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0); // classic population-stddev set
+    EXPECT_DOUBLE_EQ(maxOf({1.0, 3.0, 2.0}), 3.0);
+    EXPECT_DOUBLE_EQ(maxOf({}), 0.0);
+}
+
 } // namespace
 } // namespace capart
