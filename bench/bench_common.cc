@@ -11,8 +11,10 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "dashboard/dashboard.hh"
 #include "obs/metrics.hh"
 #include "obs/run_ledger.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "workload/catalog.hh"
 
@@ -31,6 +33,8 @@ constexpr const char *kDefaultCacheDir = ".capart-cache";
  */
 std::string gMetricsOut;  // NOLINT(cert-err58-cpp)
 std::string gTraceOut;    // NOLINT(cert-err58-cpp)
+std::string gDashboardOut; // NOLINT(cert-err58-cpp)
+std::string gAttrDir;      // NOLINT(cert-err58-cpp)
 
 /** Ledger state of this invocation (one run id across all records). */
 std::unique_ptr<obs::RunLedger> gLedger;     // NOLINT(cert-err58-cpp)
@@ -94,6 +98,25 @@ exportObsFiles()
             std::fprintf(stderr, "capart: cannot write --trace-out=%s\n",
                          gTraceOut.c_str());
     }
+    if (!gDashboardOut.empty()) {
+        // Points come back out of the ledger file (they were appended
+        // as the sweep ran); batches come from the process-wide
+        // attribution recorder (deposited per point by the sweep
+        // runner, plus any undrained direct-run scope).
+        std::vector<obs::RunRecord> points;
+        if (gLedger) {
+            for (auto &rec : obs::RunLedger::load(gLedger->path()).records) {
+                if (rec.kind == "point" && rec.run == gRunId)
+                    points.push_back(std::move(rec));
+            }
+        }
+        const std::string bench =
+            gBenchName.empty() ? "run" : gBenchName;
+        dashboard::writeDashboardFile(
+            gDashboardOut,
+            "capart " + bench + (gRunId.empty() ? "" : " — " + gRunId),
+            points);
+    }
 }
 
 void
@@ -105,9 +128,11 @@ enableObsExport()
         // Touch the globals before registering the handler: function
         // statics are destroyed in reverse construction order, so
         // constructing them first guarantees they outlive the atexit
-        // exporter.
+        // exporter. timeseries() included — the dashboard renderer
+        // collects from it inside the handler.
         obs::metrics();
         obs::tracer();
+        obs::timeseries();
         std::atexit(exportObsFiles);
     }
     if (!obs::kCompiledIn) {
@@ -165,6 +190,20 @@ parseArgs(int argc, char **argv, double default_scale,
         } else if (arg.rfind("--ledger=", 0) == 0) {
             opts.ledgerOut = arg.substr(9);
             enableObsExport();
+        } else if (arg.rfind("--obs-sample-period=", 0) == 0) {
+            opts.obsSamplePeriod =
+                std::strtoull(arg.c_str() + 20, nullptr, 10);
+            enableObsExport();
+            obs::timeseries().setPeriod(opts.obsSamplePeriod);
+        } else if (arg.rfind("--attr-dir=", 0) == 0) {
+            opts.attrDir = arg.substr(11);
+            gAttrDir = opts.attrDir;
+            std::filesystem::create_directories(gAttrDir);
+            enableObsExport();
+        } else if (arg.rfind("--dashboard-out=", 0) == 0) {
+            opts.dashboardOut = arg.substr(16);
+            gDashboardOut = opts.dashboardOut;
+            enableObsExport();
         } else if (arg.rfind("--log-out=", 0) == 0) {
             opts.logOut = arg.substr(10);
             setLogSink(opts.logOut);
@@ -206,6 +245,17 @@ parseArgs(int argc, char **argv, double default_scale,
                         "record per sweep point\n"
                         "               plus a closing bench record to F "
                         "(see bench_report)\n"
+                        "  --obs-sample-period=N  snapshot per-owner "
+                        "attribution (LLC ways,\n"
+                        "               stalls, energy, DRAM channels) "
+                        "every N quanta\n"
+                        "  --attr-dir=D write one attribution JSON side "
+                        "file per computed\n"
+                        "               sweep point under D and ledger "
+                        "partitioner decisions\n"
+                        "  --dashboard-out=F  render the self-contained "
+                        "HTML dashboard to F\n"
+                        "               on exit (see bench_dashboard)\n"
                         "  --log-out=F  structured JSONL event log to F "
                         "(\"-\" = stderr)\n"
                         "  --log-level=L  drop structured events below L "
@@ -231,6 +281,8 @@ parseArgs(int argc, char **argv, double default_scale,
                      unixMillisNow()));
         gLedger = std::make_unique<obs::RunLedger>(opts.ledgerOut);
     }
+    if (gBenchName.empty() && !gDashboardOut.empty())
+        gBenchName = benchNameFromArgv0(argv[0]);
     return opts;
 }
 
@@ -256,6 +308,7 @@ makeRunner(const BenchOptions &opts, const std::string &bench_name)
         ro.benchName = gBenchName;
         ro.runId = gRunId;
     }
+    ro.attrDir = gAttrDir;
     return exec::SweepRunner(ro);
 }
 

@@ -47,20 +47,34 @@ struct BenchOptions
     std::string ledgerOut;
     /** Structured JSONL log sink ("" = off, "-" = stderr). */
     std::string logOut;
+    /** Attribution sampling period in quanta (0 = off). */
+    std::uint64_t obsSamplePeriod = 0;
+    /** Directory for per-point attribution side files ("" = off). */
+    std::string attrDir;
+    /** Render the HTML dashboard here on exit ("" = off). */
+    std::string dashboardOut;
 };
 
 /**
  * Parse --scale=X, --csv, --quick, --seed=N, --jobs=N, --resume,
  * --cache-dir=D, --metrics-out=F, --trace-out=F, --ledger=F,
- * --log-out=F, --log-level=L; prints usage and exits on --help or
- * unknown arguments. @p default_scale seeds opts.scale. Passing
- * --metrics-out, --trace-out, or --ledger enables the observability
- * layer for the run and registers an atexit hook that writes the
- * file(s); stdout (the table/CSV) is never touched, so golden outputs
- * stay byte-identical. --ledger also stamps a run id
+ * --log-out=F, --log-level=L, --obs-sample-period=N, --attr-dir=D,
+ * --dashboard-out=F; prints usage and exits on --help or unknown
+ * arguments. @p default_scale seeds opts.scale. Passing
+ * --metrics-out, --trace-out, --ledger, --obs-sample-period,
+ * --attr-dir, or --dashboard-out enables the observability layer for
+ * the run and registers an atexit hook that writes the file(s);
+ * stdout (the table/CSV) is never touched, so golden outputs stay
+ * byte-identical. --ledger also stamps a run id
  * (`<bench>-<seed>-<epoch ms>`) shared by every record of the
- * invocation and appends a final `bench` record at exit. --log-out
- * opens the process-wide structured JSONL log (see common/logging.hh).
+ * invocation and appends a final `bench` record at exit.
+ * --obs-sample-period=N arms per-owner attribution sampling every N
+ * quanta; --attr-dir=D makes sweep runners write one attribution side
+ * file per computed point under D (created if missing) and ledger the
+ * partitioner's decisions; --dashboard-out=F renders the
+ * self-contained HTML dashboard over everything collected at exit.
+ * --log-out opens the process-wide structured JSONL log (see
+ * common/logging.hh).
  */
 BenchOptions parseArgs(int argc, char **argv, double default_scale,
                        const char *description);

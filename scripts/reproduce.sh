@@ -40,7 +40,7 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     case "$(basename "$b")" in
-    bench_report) continue ;; # aggregator, runs after the loop
+    bench_report | bench_dashboard) continue ;; # aggregators, after the loop
     esac
     echo "### $b"
     case "$b" in
@@ -48,7 +48,15 @@ for b in build/bench/*; do
         # google-benchmark binary; takes no capart flags.
         "$b"
         ;;
-    *fig06* | *fig07* | *fig08* | *fig09* | *fig10* | *fig11* | *fig13*)
+    *fig13*)
+        # The dynamic-policy sweep additionally records per-owner
+        # attribution samples and the decision journal, and renders
+        # the self-contained HTML dashboard over them at exit.
+        "$b" $SWEEP_FLAGS --ledger="$LEDGER" --log-out=events.jsonl \
+            --obs-sample-period=8 --attr-dir=attr \
+            --dashboard-out=dashboard.html
+        ;;
+    *fig06* | *fig07* | *fig08* | *fig09* | *fig10* | *fig11*)
         # Sweep binaries: parallel, optionally memoized (see header).
         "$b" $SWEEP_FLAGS --ledger="$LEDGER" --log-out=events.jsonl
         ;;
@@ -63,3 +71,9 @@ done 2>&1 | tee bench_output.txt
 build/bench/bench_report --ledger="$LEDGER" \
     --json-out=BENCH_capart.json --md-out=bench_report.md
 echo "wrote BENCH_capart.json and bench_report.md"
+
+# Re-render the fig13 dashboard from the ledger + side files alone
+# (the standalone path; the in-bench render above is the other).
+build/bench/bench_dashboard --ledger="$LEDGER" --bench=fig13_dynamic \
+    --out=dashboard_from_ledger.html &&
+    echo "wrote dashboard.html and dashboard_from_ledger.html"

@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "core/decision_journal.hh"
 #include "obs/metrics.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "sim/experiment.hh"
 
@@ -210,6 +212,11 @@ DynamicPartitioner::enterFallback(System &sys, unsigned count,
             "watchdog.fallback", "partition", sys.now() * 1e6,
             {{"consecutive_failures", static_cast<double>(count)},
              {"remask_cause", remask_cause ? 1.0 : 0.0}});
+        Decision fell;
+        fell.rule = DecisionRule::FallbackEnter;
+        fell.targetFgWays = fair;
+        journalDecision(
+            sys, snapshotInputs(0.0, smoothed_, PhaseEvent::Stable), fell);
     }
     capart_warn("dynamic partitioner: watchdog tripped after "
                 << count << " consecutive failures; falling back to "
@@ -239,6 +246,15 @@ DynamicPartitioner::resumeDynamic(System &sys)
     remaskProbation_ = remaskCausedFallback_;
     phaseStarts_ = true;
     requestWays(sys, cfg_.maxFgWays);
+    if (obs::enabled()) {
+        Decision probe;
+        probe.rule = DecisionRule::ResumeProbe;
+        probe.targetFgWays = cfg_.maxFgWays;
+        probe.probingAfter = true;
+        journalDecision(
+            sys, snapshotInputs(0.0, smoothed_, PhaseEvent::NewPhase),
+            probe);
+    }
 }
 
 DynamicPartitioner::Sample
@@ -269,6 +285,42 @@ DynamicPartitioner::classify(const PerfWindow &w)
     }
     haveSuspect_ = false;
     return Sample::Valid;
+}
+
+DecisionInputs
+DynamicPartitioner::snapshotInputs(double raw_mpki, double smoothed_mpki,
+                                   PhaseEvent ev) const
+{
+    DecisionInputs in;
+    in.rawMpki = raw_mpki;
+    in.smoothedMpki = smoothed_mpki;
+    in.lastMpki = lastMpki_;
+    in.haveLast = haveLast_;
+    in.phase = ev;
+    in.probing = phaseStarts_;
+    in.retryPending = retryPending_;
+    in.retryWays = retryWays_;
+    in.fgWays = fgWays_;
+    in.thr3 = cfg_.thr3;
+    in.minDenominator = cfg_.minDenominator;
+    in.minFgWays = cfg_.minFgWays;
+    in.maxFgWays = cfg_.maxFgWays;
+    return in;
+}
+
+void
+DynamicPartitioner::journalDecision(System &sys, const DecisionInputs &in,
+                                    const Decision &out)
+{
+    if (!obs::enabled())
+        return;
+    const bool applied = !retryPending_ && fgWays_ == out.targetFgWays;
+    obs::timeseries().journal(makeDecisionEntry(sys.now() * 1e6, in, out,
+                                                sys.llcWays(), applied,
+                                                fgWays_));
+    static obs::Counter &journaled =
+        obs::metrics().counter("partitioner.decisions_journaled");
+    journaled.inc();
 }
 
 void
@@ -323,6 +375,13 @@ DynamicPartitioner::onWindow(System &sys, AppId app, const PerfWindow &w)
                 "sample.rejected", "partition", sys.now() * 1e6,
                 {{"mpki", w.mpki},
                  {"outlier", verdict == Sample::Outlier ? 1.0 : 0.0}});
+            Decision held;
+            held.rule = DecisionRule::RejectHold;
+            held.targetFgWays = fgWays_;
+            held.probingAfter = phaseStarts_;
+            journalDecision(
+                sys, snapshotInputs(w.mpki, smoothed_, PhaseEvent::Stable),
+                held);
         }
         if (mode_ == ControlMode::Dynamic &&
             badTelemetry_ >= cfg_.watchdogThreshold)
@@ -341,6 +400,14 @@ DynamicPartitioner::onWindow(System &sys, AppId app, const PerfWindow &w)
     if (mode_ == ControlMode::Fallback) {
         // Hold the safe partition until the signal proves stable again.
         ++healthyStreak_;
+        if (obs::enabled()) {
+            Decision held;
+            held.rule = DecisionRule::FallbackHold;
+            held.targetFgWays = fgWays_;
+            journalDecision(
+                sys, snapshotInputs(w.mpki, smoothed_, PhaseEvent::Stable),
+                held);
+        }
         if (healthyStreak_ >= cfg_.recoveryWindows)
             resumeDynamic(sys);
         history_.push_back(AllocationEvent{w.end, fgWays_, w.mpki,
@@ -360,11 +427,19 @@ DynamicPartitioner::onWindow(System &sys, AppId app, const PerfWindow &w)
 
     const PhaseEvent ev = detector_.step(mpki);
 
-    if (retryPending_) {
+    // The decision step is a pure function of the inputs snapshotted
+    // here; the journal records exactly this (inputs, outputs) pair,
+    // which is what makes a recorded decision replayable.
+    const DecisionInputs inputs = snapshotInputs(w.mpki, mpki, ev);
+    const Decision dec = decidePartition(inputs);
+
+    switch (dec.rule) {
+      case DecisionRule::Retry:
         // A mask application is in flight: retry it on schedule and do
         // not take new decisions on state that never landed.
         serviceRetry(sys);
-    } else if (ev == PhaseEvent::NewPhase) {
+        break;
+      case DecisionRule::PhaseStartMax:
         // A new phase begins: give the foreground everything we can,
         // then probe downward from there (Algorithm 6.2).
         if (obs::enabled()) {
@@ -375,34 +450,33 @@ DynamicPartitioner::onWindow(System &sys, AppId app, const PerfWindow &w)
                  {"fg_ways", static_cast<double>(fgWays_)}});
         }
         phaseStarts_ = true;
-        requestWays(sys, cfg_.maxFgWays);
-    } else if (ev == PhaseEvent::Stable && phaseStarts_) {
-        // The shrink probe compares *raw* successive windows: the
-        // reaction to a one-way shrink must not be averaged away.
-        const double denom =
-            std::max(std::abs(lastMpki_), cfg_.minDenominator);
-        const double delta =
-            haveLast_ ? std::abs(lastMpki_ - w.mpki) / denom : 0.0;
-        if (delta < cfg_.thr3) {
-            // Shrinking did not hurt: release another way to the
-            // background, until the floor.
-            if (fgWays_ > cfg_.minFgWays)
-                requestWays(sys, fgWays_ - 1);
-            else
-                phaseStarts_ = false;
-        } else {
-            // The last shrink showed up in the MPKI: give the way
-            // back and settle at the previous allocation.
-            if (fgWays_ < cfg_.maxFgWays)
-                requestWays(sys, fgWays_ + 1);
-            phaseStarts_ = false;
-            if (obs::enabled()) {
-                obs::tracer().instant(
-                    "phase.settled", "partition", sys.now() * 1e6,
-                    {{"fg_ways", static_cast<double>(fgWays_)}});
-            }
+        requestWays(sys, dec.targetFgWays);
+        break;
+      case DecisionRule::ProbeShrink:
+        // Shrinking did not hurt: release another way to the
+        // background, until the floor.
+        requestWays(sys, dec.targetFgWays);
+        break;
+      case DecisionRule::SettleFloor:
+        // The probe reached the floor without a reaction: settle there.
+        phaseStarts_ = false;
+        break;
+      case DecisionRule::SettleBack:
+        // The last shrink showed up in the MPKI: give the way back and
+        // settle at the previous allocation.
+        if (dec.targetFgWays != fgWays_)
+            requestWays(sys, dec.targetFgWays);
+        phaseStarts_ = false;
+        if (obs::enabled()) {
+            obs::tracer().instant(
+                "phase.settled", "partition", sys.now() * 1e6,
+                {{"fg_ways", static_cast<double>(fgWays_)}});
         }
+        break;
+      default:
+        break; // Hold: in transition, or stable without an open probe.
     }
+    journalDecision(sys, inputs, dec);
 
     lastMpki_ = w.mpki;
     haveLast_ = true;

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/decision_journal.hh"
 #include "core/health.hh"
 #include "core/phase_detector.hh"
 #include "core/remasker.hh"
@@ -140,6 +141,12 @@ class DynamicPartitioner : public PartitionController
     bool apply(System &sys, unsigned fg_ways);
     void requestWays(System &sys, unsigned fg_ways);
     void serviceRetry(System &sys);
+    /** Snapshot the decision inputs as the control step sees them. */
+    DecisionInputs snapshotInputs(double raw_mpki, double smoothed_mpki,
+                                  PhaseEvent ev) const;
+    /** Append one decision record to the obs journal (obs-gated). */
+    void journalDecision(System &sys, const DecisionInputs &in,
+                         const Decision &out);
     void enterFallback(System &sys, unsigned count, bool remask_cause);
     void resumeDynamic(System &sys);
     void pushHealth(System &sys, HealthEventKind kind, unsigned count);

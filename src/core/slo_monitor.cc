@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 
 namespace capart
@@ -111,6 +112,18 @@ SloMonitor::onWindow(Seconds now, const PerfWindow &w)
         obs::metrics().gauge("slo.slowdown").set(slowdown);
         if (inBreach_)
             obs::metrics().counter("slo.breach_windows").inc();
+        // One journal record per evaluation: the dashboard's burn-rate
+        // strip is drawn straight from these.
+        obs::JournalEntry e;
+        e.tUs = now * 1e6;
+        e.kind = "slo";
+        e.rule = inBreach_ ? "breach" : (burning ? "burning" : "healthy");
+        e.fields.emplace_back("slowdown", slowdown);
+        e.fields.emplace_back("burn_short", shortBurn_);
+        e.fields.emplace_back("burn_long", longBurn_);
+        e.fields.emplace_back("slo", cfg_.slo);
+        e.fields.emplace_back("in_breach", inBreach_ ? 1.0 : 0.0);
+        obs::timeseries().journal(std::move(e));
     }
 
     SloTransition transition = SloTransition::None;

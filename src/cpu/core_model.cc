@@ -7,33 +7,41 @@
 namespace capart
 {
 
-Cycles
-CoreTimingModel::quantumCycles(const QuantumCounts &q, double base_ipc,
-                               double mlp, bool smt_peer,
-                               const HierarchyLatencies &lat) const
+StallBreakdown
+CoreTimingModel::quantumBreakdown(const QuantumCounts &q, double base_ipc,
+                                  double mlp, bool smt_peer,
+                                  const HierarchyLatencies &lat) const
 {
     capart_assert(base_ipc > 0.0);
     capart_assert(mlp >= 1.0);
 
+    StallBreakdown b;
     const double ipc =
         base_ipc * (smt_peer ? cfg_.smtFactor : 1.0);
-    double cycles = static_cast<double>(q.insts) / ipc;
+    b.base = static_cast<double>(q.insts) / ipc;
 
     // Exposed fractions of on-chip hit latencies beyond the (hidden) L1.
-    cycles += static_cast<double>(q.l2Hits) *
-              static_cast<double>(lat.l2) * cfg_.l2Exposed;
+    b.l2 = static_cast<double>(q.l2Hits) *
+           static_cast<double>(lat.l2) * cfg_.l2Exposed;
     const double llc_latency =
         static_cast<double>(lat.llc + q.ringExtra);
-    cycles += static_cast<double>(q.llcHits) * llc_latency *
-              cfg_.llcExposed;
+    b.llc = static_cast<double>(q.llcHits) * llc_latency *
+            cfg_.llcExposed;
 
     // DRAM misses overlap up to the workload's MLP (MSHR-capped).
     const double eff_mlp = std::clamp(mlp, 1.0, cfg_.maxMlp);
     const double miss_latency =
         llc_latency + static_cast<double>(q.memLatency);
-    cycles += static_cast<double>(q.llcMisses) * miss_latency / eff_mlp;
+    b.dram = static_cast<double>(q.llcMisses) * miss_latency / eff_mlp;
+    return b;
+}
 
-    return static_cast<Cycles>(cycles);
+Cycles
+CoreTimingModel::quantumCycles(const QuantumCounts &q, double base_ipc,
+                               double mlp, bool smt_peer,
+                               const HierarchyLatencies &lat) const
+{
+    return totalCycles(quantumBreakdown(q, base_ipc, mlp, smt_peer, lat));
 }
 
 } // namespace capart

@@ -65,6 +65,23 @@ struct QuantumCounts
     Cycles memLatency = 0;
 };
 
+/**
+ * A quantum's cycles split by where the thread spent them.
+ *
+ * The four terms are exactly the four addends of the timing formula,
+ * kept separate so the attribution sampler can report *where* a core's
+ * cycles went. Summing them in declaration order — ((base + l2) + llc)
+ * + dram — reproduces quantumCycles() bit for bit; that identity is
+ * what keeps attribution free (see totalCycles()).
+ */
+struct StallBreakdown
+{
+    double base = 0.0; //!< compute: insts / effective IPC
+    double l2 = 0.0;   //!< exposed L2 hit latency
+    double llc = 0.0;  //!< exposed LLC hit latency (incl. ring)
+    double dram = 0.0; //!< MLP-overlapped DRAM miss latency
+};
+
 /** Converts quantum event counts to cycles. */
 class CoreTimingModel
 {
@@ -85,6 +102,24 @@ class CoreTimingModel
     Cycles quantumCycles(const QuantumCounts &q, double base_ipc,
                          double mlp, bool smt_peer,
                          const HierarchyLatencies &lat) const;
+
+    /** The same computation with the four addends kept separate. */
+    StallBreakdown quantumBreakdown(const QuantumCounts &q,
+                                    double base_ipc, double mlp,
+                                    bool smt_peer,
+                                    const HierarchyLatencies &lat) const;
+
+    /**
+     * Collapse a breakdown into total cycles using the same floating
+     * point association order as the historical single-accumulator
+     * formula, so quantumCycles(q,...) ==
+     * totalCycles(quantumBreakdown(q,...)) exactly.
+     */
+    static Cycles
+    totalCycles(const StallBreakdown &b)
+    {
+        return static_cast<Cycles>(((b.base + b.l2) + b.llc) + b.dram);
+    }
 
     Seconds
     cyclesToSeconds(Cycles c) const

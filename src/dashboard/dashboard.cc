@@ -1,0 +1,658 @@
+#include "dashboard/dashboard.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace capart::dashboard
+{
+
+namespace
+{
+
+/**
+ * Make a JSON blob safe inside a <script> element: the only sequence
+ * HTML parsing cares about is "</" (it could open "</script>"), and
+ * "\/" is a legal JSON escape for "/", so the replacement never
+ * changes the parsed value.
+ */
+std::string
+scriptSafe(std::string json)
+{
+    std::string out;
+    out.reserve(json.size());
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        if (json[i] == '<' && i + 1 < json.size() && json[i + 1] == '/') {
+            out += "<\\/";
+            ++i;
+        } else {
+            out += json[i];
+        }
+    }
+    return out;
+}
+
+/** One attribution batch as its standalone-document JSON text. */
+std::string
+batchJson(const obs::AttributionBatch &batch)
+{
+    std::ostringstream os;
+    obs::writeAttributionJson(os, batch);
+    std::string text = os.str();
+    while (!text.empty() && text.back() == '\n')
+        text.pop_back();
+    return text;
+}
+
+// The page shell. Split around the embedded blob; the JavaScript lives
+// in kPageScript below. Everything inline: no fonts, no CDNs, no
+// fetches — the file must render from a CI artifact tab, offline.
+constexpr const char *kPageHead = R"HTML(<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>__TITLE__</title>
+<style>
+:root { color-scheme: light; }
+body { font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+       margin: 0 auto; max-width: 960px; padding: 16px 24px 48px;
+       color: #1a1a1a; background: #fcfcfc; }
+h1 { font-size: 22px; margin: 8px 0 2px; }
+h2 { font-size: 16px; margin: 28px 0 4px; }
+.meta { color: #666; margin: 0 0 16px; }
+.sub { color: #666; font-size: 12px; margin: 0 0 8px; }
+select { font: inherit; padding: 2px 6px; margin: 4px 0 12px; }
+svg { display: block; background: #fff; border: 1px solid #e3e3e3;
+      border-radius: 4px; margin: 4px 0 2px; }
+.axis line, .axis path { stroke: #999; }
+.grid line { stroke: #eee; }
+.axis text { fill: #555; font-size: 11px; }
+.ctitle { fill: #333; font-size: 12px; font-weight: 600; }
+.legend { display: flex; flex-wrap: wrap; gap: 4px 14px;
+          font-size: 12px; color: #444; margin: 2px 0 10px; }
+.legend span.swatch { display: inline-block; width: 10px; height: 10px;
+          border-radius: 2px; margin-right: 5px; }
+table { border-collapse: collapse; font-size: 12px; margin: 6px 0; }
+th, td { border: 1px solid #ddd; padding: 3px 8px; text-align: right; }
+th { background: #f3f3f3; }
+td.s, th.s { text-align: left; font-family: ui-monospace, monospace; }
+.empty { color: #888; font-style: italic; margin: 12px 0; }
+</style>
+</head>
+<body>
+<script type="application/json" id="capart-data">)HTML";
+
+constexpr const char *kPageMiddle = R"HTML(</script>
+<h1 id="page-title"></h1>
+<p class="meta" id="page-meta"></p>
+<div id="batch-bar"></div>
+<div id="charts"></div>
+<h2>Partitioner decisions</h2>
+<p class="sub">One row per control decision, with the complete
+recorded inputs (hover a row for every field); rules are those of
+Algorithm 6.2 plus the watchdog's degradation rules.</p>
+<div id="decisions"></div>
+<h2>Sweep points</h2>
+<div id="points"></div>
+<script>
+)HTML";
+
+constexpr const char *kPageTail = R"HTML(</script>
+</body>
+</html>
+)HTML";
+
+// All client-side rendering. Vanilla JS + SVG only.
+constexpr const char *kPageScript = R"JS('use strict';
+(function () {
+const data = JSON.parse(document.getElementById('capart-data').textContent);
+const batches = data.batches || [];
+const points = data.points || [];
+const NS = 'http://www.w3.org/2000/svg';
+
+const ownerColors = ['#4e79a7', '#f28e2b', '#59a045', '#b07aa1',
+                     '#76b7b2', '#edc948', '#e15759', '#9c755f'];
+const stallColors = ['#59a045', '#edc948', '#f28e2b', '#e15759',
+                     '#9c755f'];
+const stallNames = ['compute', 'L2', 'LLC', 'DRAM', 'queueing'];
+const energyColors = ['#4e79a7', '#f28e2b', '#e15759'];
+const energyNames = ['core busy', 'LLC', 'DRAM'];
+
+function el(tag, attrs, parent) {
+    const e = document.createElementNS(NS, tag);
+    for (const k in attrs) e.setAttribute(k, attrs[k]);
+    if (parent) parent.appendChild(e);
+    return e;
+}
+function html(tag, cls, parent, text) {
+    const e = document.createElement(tag);
+    if (cls) e.className = cls;
+    if (text !== undefined) e.textContent = text;
+    if (parent) parent.appendChild(e);
+    return e;
+}
+function fmt(v, digits) {
+    if (!isFinite(v)) return String(v);
+    const d = digits === undefined ? 3 : digits;
+    if (v !== 0 && (Math.abs(v) >= 1e5 || Math.abs(v) < 1e-3))
+        return v.toExponential(2);
+    return Number(v.toFixed(d)).toString();
+}
+function popcount(m) {
+    let n = 0;
+    for (let v = m >>> 0; v; v &= v - 1) n++;
+    return n;
+}
+function maskHex(m) { return '0x' + (m >>> 0).toString(16); }
+
+function niceTicks(lo, hi, n) {
+    if (!(hi > lo)) hi = lo + 1;
+    const span = hi - lo;
+    const step0 = Math.pow(10, Math.floor(Math.log10(span / n)));
+    let step = step0;
+    for (const m of [1, 2, 5, 10]) {
+        if (span / (step0 * m) <= n) { step = step0 * m; break; }
+    }
+    const ticks = [];
+    for (let v = Math.ceil(lo / step) * step; v <= hi + step * 1e-9;
+         v += step)
+        ticks.push(Math.abs(v) < step * 1e-9 ? 0 : v);
+    return ticks;
+}
+
+// One chart frame: axes, grid, scales. Returns {plot, x, y, W, H}.
+function frame(parent, o) {
+    const M = {l: 56, r: 14, t: 26, b: 36};
+    const W = o.w || 860, H = o.h || 200;
+    const svg = el('svg', {width: W, height: H + M.t + M.b,
+                           viewBox: '0 0 ' + W + ' ' + (H + M.t + M.b)},
+                   parent);
+    const iw = W - M.l - M.r;
+    const x = v => M.l + (v - o.x0) / (o.x1 - o.x0 || 1) * iw;
+    const y = v => M.t + H - (v - o.y0) / (o.y1 - o.y0 || 1) * H;
+    const grid = el('g', {class: 'grid'}, svg);
+    const axis = el('g', {class: 'axis'}, svg);
+    el('text', {x: M.l, y: 15, class: 'ctitle'}, svg)
+        .textContent = o.title;
+    for (const t of niceTicks(o.x0, o.x1, 8)) {
+        el('line', {x1: x(t), x2: x(t), y1: M.t, y2: M.t + H}, grid);
+        el('line', {x1: x(t), x2: x(t), y1: M.t + H, y2: M.t + H + 4},
+           axis);
+        const lab = el('text', {x: x(t), y: M.t + H + 16,
+                                'text-anchor': 'middle'}, axis);
+        lab.textContent = fmt(t);
+    }
+    for (const t of niceTicks(o.y0, o.y1, 5)) {
+        el('line', {x1: M.l, x2: W - M.r, y1: y(t), y2: y(t)}, grid);
+        const lab = el('text', {x: M.l - 6, y: y(t) + 3,
+                                'text-anchor': 'end'}, axis);
+        lab.textContent = fmt(t);
+    }
+    el('line', {x1: M.l, x2: W - M.r, y1: M.t + H, y2: M.t + H}, axis);
+    el('line', {x1: M.l, x2: M.l, y1: M.t, y2: M.t + H}, axis);
+    el('text', {x: M.l + iw / 2, y: M.t + H + 31,
+                'text-anchor': 'middle', class: 'axis'}, svg)
+        .textContent = o.xlab || '';
+    const yl = el('text', {x: 14, y: M.t + H / 2, class: 'axis',
+                           'text-anchor': 'middle',
+                           transform: 'rotate(-90 14 ' + (M.t + H / 2) +
+                                      ')'}, svg);
+    yl.textContent = o.ylab || '';
+    return {plot: el('g', {}, svg), x, y, H, M, W, y0: o.y0, y1: o.y1};
+}
+
+function linePath(f, ts, vs, color, dash) {
+    let d = '';
+    for (let i = 0; i < ts.length; i++)
+        d += (i ? 'L' : 'M') + f.x(ts[i]).toFixed(1) + ' ' +
+             f.y(vs[i]).toFixed(1);
+    const a = {d, fill: 'none', stroke: color, 'stroke-width': 1.6};
+    if (dash) a['stroke-dasharray'] = dash;
+    el('path', a, f.plot);
+}
+
+// Stacked area: layers[k][i] is layer k's value at ts[i].
+function stackArea(f, ts, layers, colors) {
+    const base = ts.map(() => 0);
+    for (let k = 0; k < layers.length; k++) {
+        const top = ts.map((_, i) => base[i] + layers[k][i]);
+        let d = '';
+        for (let i = 0; i < ts.length; i++)
+            d += (i ? 'L' : 'M') + f.x(ts[i]).toFixed(1) + ' ' +
+                 f.y(top[i]).toFixed(1);
+        for (let i = ts.length - 1; i >= 0; i--)
+            d += 'L' + f.x(ts[i]).toFixed(1) + ' ' +
+                 f.y(base[i]).toFixed(1);
+        el('path', {d: d + 'Z', fill: colors[k % colors.length],
+                    'fill-opacity': 0.75, stroke: 'none'}, f.plot);
+        for (let i = 0; i < ts.length; i++) base[i] = top[i];
+    }
+}
+
+function marker(f, t, color, label) {
+    const g = el('g', {}, f.plot);
+    el('line', {x1: f.x(t), x2: f.x(t), y1: f.M.t, y2: f.M.t + f.H,
+                stroke: color, 'stroke-width': 1,
+                'stroke-dasharray': '3 2'}, g);
+    el('title', {}, g).textContent = label;
+}
+
+function legend(parent, entries) {
+    const box = html('div', 'legend', parent);
+    for (const [label, color] of entries) {
+        const item = html('span', '', box);
+        const sw = html('span', 'swatch', item);
+        sw.style.background = color;
+        item.appendChild(document.createTextNode(label));
+    }
+}
+
+function ownerLabel(batch, idx) {
+    const parts = (batch.label || '').split('+');
+    return parts.length > idx && parts[idx]
+        ? parts[idx] + ' (app ' + idx + ')' : 'app ' + idx;
+}
+
+// ---- data shaping -----------------------------------------------------
+
+function timesMs(samples) { return samples.map(s => s.t_us / 1000); }
+
+function ownerSeries(samples, idx, get) {
+    return samples.map(s => idx < s.owners.length
+                            ? get(s.owners[idx]) : 0);
+}
+
+function ownerCount(samples) {
+    let n = 0;
+    for (const s of samples) n = Math.max(n, s.owners.length);
+    return n;
+}
+
+// Per-interval rates from cumulative owner counters: rate[i] covers
+// (t[i-1], t[i]]; the first sample has no interval and is dropped.
+function rates(samples, idx, get, perSecond) {
+    const out = [];
+    for (let i = 1; i < samples.length; i++) {
+        const a = idx < samples[i - 1].owners.length
+                      ? get(samples[i - 1].owners[idx]) : 0;
+        const b = idx < samples[i].owners.length
+                      ? get(samples[i].owners[idx]) : 0;
+        const dt = (samples[i].t_us - samples[i - 1].t_us) / 1e6;
+        out.push(perSecond ? (dt > 0 ? (b - a) / dt : 0) : b - a);
+    }
+    return out;
+}
+
+function decisions(batch) {
+    return (batch.journal || []).filter(e => e.kind === 'decision');
+}
+function sloEntries(batch) {
+    return (batch.journal || []).filter(e => e.kind === 'slo');
+}
+
+// ---- chart sections ---------------------------------------------------
+
+function drawOccupancy(parent, batch) {
+    const s = batch.samples;
+    const ts = timesMs(s);
+    const n = ownerCount(s);
+    const ways = s.length ? s[0].llc_ways : 12;
+    const f = frame(parent, {title:
+        'LLC way occupancy by owner (stacked) and allocated ways',
+        xlab: 'time (ms)', ylab: 'ways',
+        x0: ts[0], x1: ts[ts.length - 1], y0: 0, y1: ways});
+    const layers = [];
+    for (let k = 0; k < n; k++)
+        layers.push(ownerSeries(s, k, o => o.ways));
+    stackArea(f, ts, layers, ownerColors);
+    for (let k = 0; k < n; k++)
+        linePath(f, ts, ownerSeries(s, k, o => popcount(o.mask)),
+                 ownerColors[k], '5 3');
+    for (const d of decisions(batch)) {
+        const fl = d.fields || {};
+        if (fl.applied && d.rule !== 'hold')
+            marker(f, d.t_us / 1000, '#555',
+                   d.rule + ': fg ' + fl.fg_ways + ' -> ' +
+                   fl.target_fg_ways + ' ways');
+    }
+    const entries = [];
+    for (let k = 0; k < n; k++)
+        entries.push([ownerLabel(batch, k) + ' occupied',
+                      ownerColors[k]]);
+    entries.push(['dashed: allocated ways', '#888']);
+    entries.push(['markers: applied remasks', '#555']);
+    legend(parent, entries);
+}
+
+function drawStalls(parent, batch) {
+    const s = batch.samples;
+    if (s.length < 2) return;
+    const ts = timesMs(s).slice(1);
+    const n = ownerCount(s);
+    const get = [o => o.stall[0], o => o.stall[1], o => o.stall[2],
+                 o => o.stall[3], o => o.stall[4]];
+    for (let k = 0; k < n; k++) {
+        const deltas = get.map(g => rates(s, k, g, false));
+        const cyc = rates(s, k, o => o.cycles, false);
+        const shares = deltas.map(layer =>
+            layer.map((v, i) => cyc[i] > 0 ? v / cyc[i] : 0));
+        const f = frame(parent, {title: 'Cycle breakdown — ' +
+            ownerLabel(batch, k), xlab: 'time (ms)',
+            ylab: 'share of cycles', h: 140,
+            x0: ts[0], x1: ts[ts.length - 1], y0: 0, y1: 1});
+        stackArea(f, ts, shares, stallColors);
+    }
+    legend(parent, stallNames.map((nm, i) => [nm, stallColors[i]]));
+}
+
+function drawEnergy(parent, batch) {
+    const s = batch.samples;
+    if (s.length < 2) return;
+    const ts = timesMs(s).slice(1);
+    const n = ownerCount(s);
+    const get = [o => o.energy[0], o => o.energy[1], o => o.energy[2]];
+    let ymax = 0;
+    const perOwner = [];
+    for (let k = 0; k < n; k++) {
+        const layers = get.map(g => rates(s, k, g, true));
+        perOwner.push(layers);
+        for (let i = 0; i < ts.length; i++)
+            ymax = Math.max(ymax, layers[0][i] + layers[1][i] +
+                                  layers[2][i]);
+    }
+    for (let k = 0; k < n; k++) {
+        const f = frame(parent, {title: 'Attributed power — ' +
+            ownerLabel(batch, k), xlab: 'time (ms)', ylab: 'W', h: 140,
+            x0: ts[0], x1: ts[ts.length - 1], y0: 0, y1: ymax || 1});
+        stackArea(f, ts, perOwner[k], energyColors);
+    }
+    legend(parent, energyNames.map((nm, i) => [nm, energyColors[i]]));
+}
+
+function drawDram(parent, batch) {
+    const s = batch.samples;
+    if (s.length < 2) return;
+    let chans = 0;
+    for (const smp of s)
+        for (const o of smp.owners)
+            chans = Math.max(chans, o.chan.length);
+    if (!chans) return;
+    const ts = timesMs(s).slice(1);
+    const layers = [];
+    let ymax = 0;
+    for (let c = 0; c < chans; c++) {
+        const layer = [];
+        for (let i = 1; i < s.length; i++) {
+            let a = 0, b = 0;
+            for (const o of s[i - 1].owners) a += o.chan[c] || 0;
+            for (const o of s[i].owners) b += o.chan[c] || 0;
+            const dt = (s[i].t_us - s[i - 1].t_us) / 1e6;
+            layer.push(dt > 0 ? (b - a) / dt / 1e9 : 0);
+        }
+        layers.push(layer);
+    }
+    for (let i = 0; i < ts.length; i++) {
+        let sum = 0;
+        for (const l of layers) sum += l[i];
+        ymax = Math.max(ymax, sum);
+    }
+    const f = frame(parent, {title: 'DRAM bandwidth by channel (stacked)',
+        xlab: 'time (ms)', ylab: 'GB/s', h: 140,
+        x0: ts[0], x1: ts[ts.length - 1], y0: 0, y1: ymax || 1});
+    stackArea(f, ts, layers, ownerColors);
+    legend(parent, layers.map((_, c) =>
+        ['channel ' + c, ownerColors[c % ownerColors.length]]));
+}
+
+function drawSlo(parent, batch) {
+    const evals = sloEntries(batch);
+    if (!evals.length) return;
+    const ts = evals.map(e => e.t_us / 1000);
+    const short_ = evals.map(e => e.fields.burn_short || 0);
+    const long_ = evals.map(e => e.fields.burn_long || 0);
+    let ymax = 1.2;
+    for (const v of short_.concat(long_))
+        if (isFinite(v)) ymax = Math.max(ymax, v);
+    const f = frame(parent, {title:
+        'SLO burn rate (short/long windows; shaded = in breach)',
+        xlab: 'time (ms)', ylab: 'burn rate', h: 120,
+        x0: ts[0], x1: ts[ts.length - 1], y0: 0, y1: ymax});
+    for (let i = 0; i < evals.length; i++) {
+        if (!evals[i].fields.in_breach) continue;
+        const x0 = f.x(i ? ts[i - 1] : ts[i]), x1 = f.x(ts[i]);
+        el('rect', {x: x0, y: f.M.t, width: Math.max(x1 - x0, 1),
+                    height: f.H, fill: '#e15759',
+                    'fill-opacity': 0.15}, f.plot);
+    }
+    linePath(f, [ts[0], ts[ts.length - 1]], [1, 1], '#999', '2 3');
+    linePath(f, ts, short_, '#e15759');
+    linePath(f, ts, long_, '#4e79a7');
+    legend(parent, [['short-window burn', '#e15759'],
+                    ['long-window burn', '#4e79a7'],
+                    ['burn = 1 (budget-neutral)', '#999']]);
+}
+
+// ---- tables -----------------------------------------------------------
+
+function decisionsTable(parent, batch) {
+    const ds = decisions(batch);
+    if (!ds.length) {
+        html('p', 'empty', parent,
+             'No partitioner decisions recorded for this point.');
+        return;
+    }
+    const tbl = html('table', '', parent);
+    const hdr = html('tr', '', tbl);
+    for (const h of ['t (ms)', 'rule', 'fg ways', 'target', 'mask',
+                     'raw MPKI', 'smoothed', 'last', 'delta', 'phase',
+                     'probing', 'applied'])
+        html('th', h === 'rule' || h === 'mask' ? 's' : '', hdr, h);
+    const phases = ['stable', 'transition', 'new-phase'];
+    for (const d of ds) {
+        const fl = d.fields || {};
+        const tr = html('tr', '', tbl);
+        tr.title = Object.keys(fl).map(k => k + '=' + fmt(fl[k], 6))
+                         .join('  ');
+        html('td', '', tr, fmt(d.t_us / 1000));
+        html('td', 's', tr, d.rule);
+        html('td', '', tr, fmt(fl.fg_ways, 0));
+        html('td', '', tr, fmt(fl.target_fg_ways, 0));
+        html('td', 's', tr,
+             fl.chosen_fg_mask === undefined ? ''
+                 : maskHex(fl.chosen_fg_mask));
+        html('td', '', tr, fmt(fl.raw_mpki));
+        html('td', '', tr, fmt(fl.smoothed_mpki));
+        html('td', '', tr, fl.have_last ? fmt(fl.last_mpki) : '-');
+        html('td', '', tr, fmt(fl.delta));
+        html('td', '', tr, phases[fl.phase] || String(fl.phase));
+        html('td', '', tr, fl.probing ? 'yes' : 'no');
+        html('td', '', tr, fl.applied ? 'yes' : 'no');
+    }
+}
+
+function pointsTable(parent) {
+    if (!points.length) {
+        html('p', 'empty', parent, 'No ledger points embedded.');
+        return;
+    }
+    const cols = [];
+    for (const p of points)
+        for (const k in (p.metrics || {}))
+            if (cols.indexOf(k) < 0) cols.push(k);
+    const shown = cols.slice(0, 8);
+    const tbl = html('table', '', parent);
+    const hdr = html('tr', '', tbl);
+    for (const h of ['spec', 'cached'].concat(shown, ['attr file']))
+        html('th', 's', hdr, h);
+    for (const p of points) {
+        const tr = html('tr', '', tbl);
+        html('td', 's', tr, (p.spec_hash || '').slice(0, 10));
+        html('td', '', tr, p.cached ? 'yes' : 'no');
+        const byName = p.metrics || {};
+        for (const c of shown)
+            html('td', '', tr,
+                 byName[c] === undefined ? '-' : fmt(byName[c]));
+        html('td', 's', tr, p.attr_file || '-');
+    }
+}
+
+// ---- page assembly ----------------------------------------------------
+
+function drawBatch(idx) {
+    const charts = document.getElementById('charts');
+    const dec = document.getElementById('decisions');
+    charts.textContent = '';
+    dec.textContent = '';
+    if (!batches.length) {
+        html('p', 'empty', charts,
+             'No attribution samples recorded. Run with ' +
+             '--obs-sample-period=N (and a CAPART_OBS=ON build) to ' +
+             'collect per-owner timelines.');
+        html('p', 'empty', dec, 'No decision journal recorded.');
+        return;
+    }
+    const b = batches[idx];
+    if (b.samples.length) {
+        drawOccupancy(charts, b);
+        drawStalls(charts, b);
+        drawEnergy(charts, b);
+        drawDram(charts, b);
+    } else {
+        html('p', 'empty', charts,
+             'This point recorded journal entries but no samples ' +
+             '(sampling period 0 or run shorter than one period).');
+    }
+    drawSlo(charts, b);
+    decisionsTable(dec, b);
+}
+
+document.getElementById('page-title').textContent =
+    data.title || 'capart dashboard';
+document.title = data.title || 'capart dashboard';
+let sampleTotal = 0, decisionTotal = 0;
+for (const b of batches) {
+    sampleTotal += b.samples.length;
+    decisionTotal += decisions(b).length;
+}
+document.getElementById('page-meta').textContent =
+    batches.length + ' point(s), ' + sampleTotal +
+    ' attribution sample(s), ' + decisionTotal +
+    ' partitioner decision(s), ' + points.length +
+    ' ledger point record(s).';
+
+if (batches.length > 1) {
+    const bar = document.getElementById('batch-bar');
+    const sel = document.createElement('select');
+    batches.forEach((b, i) => {
+        const opt = document.createElement('option');
+        opt.value = i;
+        opt.textContent = (b.label || 'point ' + i) + ' — ' +
+            b.samples.length + ' samples (' + b.spec_hash + ')';
+        sel.appendChild(opt);
+    });
+    sel.addEventListener('change', () => drawBatch(Number(sel.value)));
+    bar.appendChild(sel);
+}
+drawBatch(0);
+pointsTable(document.getElementById('points'));
+})();
+)JS";
+
+std::string
+replaceFirst(std::string haystack, const std::string &needle,
+             const std::string &replacement)
+{
+    const std::size_t pos = haystack.find(needle);
+    if (pos != std::string::npos)
+        haystack.replace(pos, needle.size(), replacement);
+    return haystack;
+}
+
+/** Minimal HTML text escaping for the <title> element. */
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '&': out += "&amp;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::size_t
+sampleTotal(const DashboardData &data)
+{
+    std::size_t n = 0;
+    for (const obs::AttributionBatch &b : data.batches)
+        n += b.samples.size();
+    return n;
+}
+
+std::string
+dashboardJson(const DashboardData &data)
+{
+    // Batches and ledger records reuse their native serializers, so
+    // the embedded blob's schemas stay identical to the side files'.
+    std::ostringstream os;
+    os << "{\"title\":\"" << jsonEscape(data.title) << '"';
+    os << ",\"batches\":[";
+    for (std::size_t i = 0; i < data.batches.size(); ++i) {
+        if (i)
+            os << ',';
+        os << batchJson(data.batches[i]);
+    }
+    os << "],\"points\":[";
+    for (std::size_t i = 0; i < data.points.size(); ++i) {
+        if (i)
+            os << ',';
+        os << obs::RunLedger::encode(data.points[i]);
+    }
+    os << "]}";
+    return scriptSafe(os.str());
+}
+
+void
+renderDashboardHtml(std::ostream &os, const DashboardData &data)
+{
+    // data-samples on <body> is the CI handle: an OBS-off build must
+    // produce data-samples="0" no matter what flags were passed.
+    std::string head =
+        replaceFirst(kPageHead, "__TITLE__", htmlEscape(data.title));
+    head = replaceFirst(head, "<body>",
+                        "<body data-samples=\"" +
+                            std::to_string(sampleTotal(data)) + "\">");
+    os << head << dashboardJson(data) << kPageMiddle << kPageScript
+       << kPageTail;
+}
+
+bool
+writeDashboardFile(const std::string &path, const std::string &title,
+                   const std::vector<obs::RunRecord> &points)
+{
+    DashboardData data;
+    data.title = title;
+    data.batches = obs::timeseries().collect();
+    data.points = points;
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "capart: cannot write --dashboard-out=%s\n",
+                     path.c_str());
+        return false;
+    }
+    renderDashboardHtml(out, data);
+    return static_cast<bool>(out);
+}
+
+} // namespace capart::dashboard

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Self-contained HTML dashboard over attribution data.
+ *
+ * renderDashboardHtml() joins everything the observability layer
+ * records about a run — per-owner attribution time series, the
+ * partitioner decision journal, SLO evaluations, and the run ledger's
+ * point records — into one HTML file with zero external dependencies:
+ * all data is embedded as a JSON blob and all charts are drawn
+ * client-side by inline vanilla JavaScript into inline SVG. The file
+ * opens offline from a CI artifact tab or an `open` on a laptop, years
+ * after the toolchain that made it is gone.
+ *
+ * Charts per experiment point (batch): stacked per-owner LLC
+ * way-occupancy timeline with remask markers, per-owner stall
+ * breakdown (share of cycles), per-owner power split (W), per-channel
+ * DRAM bandwidth, and the SLO burn-rate strip. A table lists every
+ * partitioner decision with its complete recorded inputs (the replay
+ * contract of core/decision_journal.hh).
+ *
+ * The renderer is deterministic — no timestamps, no randomness — so
+ * golden tests can diff its output byte-for-byte. Under CAPART_OBS=OFF
+ * the data sources are empty and the page renders with
+ * `data-samples="0"`, which CI greps to prove attribution compiled
+ * out.
+ */
+
+#ifndef CAPART_DASHBOARD_DASHBOARD_HH
+#define CAPART_DASHBOARD_DASHBOARD_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/run_ledger.hh"
+#include "obs/timeseries.hh"
+
+namespace capart::dashboard
+{
+
+/** Everything one dashboard page shows. */
+struct DashboardData
+{
+    /** Page title (bench name, run id, ...). */
+    std::string title;
+    /** One batch per experiment point: samples plus journal. */
+    std::vector<obs::AttributionBatch> batches;
+    /** Ledger `point` records for the summary table (may be empty). */
+    std::vector<obs::RunRecord> points;
+};
+
+/** Total attribution samples across @p data's batches. */
+std::size_t sampleTotal(const DashboardData &data);
+
+/**
+ * Serialize @p data as the dashboard's embedded JSON blob (exposed for
+ * tests; renderDashboardHtml() embeds exactly this).
+ */
+std::string dashboardJson(const DashboardData &data);
+
+/** Write the complete self-contained HTML page. */
+void renderDashboardHtml(std::ostream &os, const DashboardData &data);
+
+/**
+ * Convenience for bench binaries: collect the process-wide
+ * obs::timeseries() batches (drained scopes included) and render to
+ * @p path. Returns false (after a stderr note) when the file cannot
+ * be written. @p points may be empty.
+ */
+bool writeDashboardFile(const std::string &path, const std::string &title,
+                        const std::vector<obs::RunRecord> &points);
+
+} // namespace capart::dashboard
+
+#endif // CAPART_DASHBOARD_DASHBOARD_HH

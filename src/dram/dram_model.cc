@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace capart
 {
@@ -41,6 +42,29 @@ DramModel::flowWindow(std::vector<RateWindow> &set, unsigned flow)
 }
 
 void
+DramModel::stripeChannels(unsigned flow, std::uint64_t bytes)
+{
+    if (!obs::enabled() || bytes == 0)
+        return;
+    capart_assert(flow < kMaxFlows);
+    const unsigned chans = std::max(cfg_.channels, 1u);
+    while (channelBytes_.size() <= flow) {
+        channelBytes_.emplace_back(chans, 0);
+        channelCursor_.push_back(0);
+    }
+    std::vector<std::uint64_t> &per = channelBytes_[flow];
+    // Even split, with the indivisible remainder parked on a rotating
+    // cursor so repeated small transfers still spread out. Exact:
+    // the per-channel counters always sum to the bytes recorded.
+    const std::uint64_t each = bytes / chans;
+    for (unsigned c = 0; c < chans; ++c)
+        per[c] += each;
+    unsigned &cursor = channelCursor_[flow];
+    per[cursor] += bytes % chans;
+    cursor = (cursor + 1) % chans;
+}
+
+void
 DramModel::recordRead(Seconds now, unsigned lines, unsigned flow)
 {
     reads_ += lines;
@@ -48,6 +72,7 @@ DramModel::recordRead(Seconds now, unsigned lines, unsigned flow)
         static_cast<std::uint64_t>(lines) * kLineBytes;
     domain_.record(now, bytes);
     flowWindow(flows_, flow).record(now, bytes);
+    stripeChannels(flow, bytes);
 }
 
 void
@@ -58,6 +83,7 @@ DramModel::recordWrite(Seconds now, unsigned lines, unsigned flow)
         static_cast<std::uint64_t>(lines) * kLineBytes;
     domain_.record(now, bytes);
     flowWindow(flows_, flow).record(now, bytes);
+    stripeChannels(flow, bytes);
 }
 
 void
@@ -66,6 +92,24 @@ DramModel::recordUncached(Seconds now, std::uint64_t bytes, unsigned flow)
     uncached_ += bytes;
     domain_.record(now, bytes);
     flowWindow(flows_, flow).record(now, bytes);
+    stripeChannels(flow, bytes);
+}
+
+std::uint64_t
+DramModel::channelBytes(unsigned flow, unsigned ch) const
+{
+    if (flow >= channelBytes_.size() || ch >= channelBytes_[flow].size())
+        return 0;
+    return channelBytes_[flow][ch];
+}
+
+std::uint64_t
+DramModel::channelBytesTotal(unsigned ch) const
+{
+    std::uint64_t total = 0;
+    for (const auto &per : channelBytes_)
+        total += ch < per.size() ? per[ch] : 0;
+    return total;
 }
 
 void

@@ -35,6 +35,13 @@ struct DramConfig
     double queueGain = 0.18;
     /** Floor on the bandwidth any one flow can be squeezed to. */
     double minShare = 0.10;
+    /**
+     * Physical channels behind the shared interface (dual-channel
+     * DDR3-1333 on the paper's platform). Only the observability-side
+     * per-channel traffic split depends on this; timing models the
+     * channels as one aggregated pipe.
+     */
+    unsigned channels = 2;
 };
 
 /**
@@ -94,10 +101,33 @@ class DramModel
     /** Total bytes moved over the interface. */
     std::uint64_t totalBytes() const;
 
+    unsigned channels() const { return cfg_.channels; }
+
+    /**
+     * Bytes @p flow moved over channel @p ch (observability-only; zero
+     * unless obs recording was enabled while the traffic flowed).
+     * Traffic is interleaved across channels deterministically per
+     * flow, so over any window the split is near-even — the model has
+     * no channel-aware address mapping to bias it.
+     */
+    std::uint64_t channelBytes(unsigned flow, unsigned ch) const;
+
+    /** Bytes all flows together moved over channel @p ch. */
+    std::uint64_t channelBytesTotal(unsigned ch) const;
+
+    /** Flows with recorded per-channel traffic. */
+    unsigned channelFlows() const
+    {
+        return static_cast<unsigned>(channelBytes_.size());
+    }
+
     const DramConfig &config() const { return cfg_; }
 
   private:
     RateWindow &flowWindow(std::vector<RateWindow> &set, unsigned flow);
+
+    /** Attribute @p bytes of @p flow's traffic across the channels. */
+    void stripeChannels(unsigned flow, std::uint64_t bytes);
 
     DramConfig cfg_;
     BandwidthDomain domain_;
@@ -106,6 +136,10 @@ class DramModel
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
     std::uint64_t uncached_ = 0;
+    /** Per-flow per-channel byte counters (obs-gated). */
+    std::vector<std::vector<std::uint64_t>> channelBytes_;
+    /** Per-flow round-robin cursor for remainder bytes. */
+    std::vector<unsigned> channelCursor_;
 };
 
 } // namespace capart

@@ -1,6 +1,9 @@
 #include "exec/sweep_runner.hh"
 
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <mutex>
 
@@ -12,6 +15,7 @@
 #include "exec/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "obs/run_ledger.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "sim/experiment.hh"
 #include "workload/catalog.hh"
@@ -84,6 +88,13 @@ runSpec(const ExperimentSpec &spec, std::uint64_t base_seed)
         co.threadsEach = spec.threads;
         co.scale = spec.scale;
         co.system.seed = seed;
+        // Attach the SLO monitor whenever observability is armed, so
+        // sweep points feed the dashboard's burn-rate strip. Pure
+        // observation: the monitor never steers the run, and the
+        // bit-identity tests (tests/test_core.cc, test_attribution.cc)
+        // lock monitored and unmonitored results together — runSpec
+        // stays a pure function of its arguments in every output bit.
+        co.monitorSlo = obs::enabled();
         if (spec.perfWindow > 0.0)
             co.system.perfWindow = spec.perfWindow;
         CoScheduler cs(Catalog::byName(spec.fg),
@@ -186,6 +197,97 @@ pointRecord(const SweepRunnerOptions &opts, const ExperimentSpec &spec,
     return rec;
 }
 
+/** Side-file path of one point's attribution batch. */
+std::string
+attrFilePath(const SweepRunnerOptions &opts, const ExperimentSpec &spec)
+{
+    char hash[24];
+    std::snprintf(hash, sizeof(hash), "%016" PRIx64, spec.hash());
+    std::string name = opts.attrDir;
+    name += '/';
+    name += opts.benchName.empty() ? "sweep" : opts.benchName;
+    name += '-';
+    name += opts.runId.empty() ? "run" : opts.runId;
+    name += '-';
+    name += hash;
+    name += ".json";
+    return name;
+}
+
+/** Short human label for one point ("fg" or "fg+bg"). */
+std::string
+pointLabel(const ExperimentSpec &spec)
+{
+    std::string label = spec.fg;
+    if (!spec.bg.empty()) {
+        label += '+';
+        label += spec.bg;
+    }
+    return label;
+}
+
+/** One control-plane journal entry as a ledger `decision` record. */
+obs::RunRecord
+decisionRecord(const SweepRunnerOptions &opts, const ExperimentSpec &spec,
+               const obs::JournalEntry &e)
+{
+    obs::RunRecord rec;
+    rec.kind = "decision";
+    rec.bench = opts.benchName;
+    rec.run = opts.runId;
+    rec.spec = spec.canonical();
+    rec.specHash = spec.hash();
+    rec.seed = opts.baseSeed;
+    rec.tsMs = unixMillisNow();
+    rec.rule = e.rule;
+    // Simulated time first, then the decision's own fields: together
+    // they are the complete replay input (see core/decision_journal.hh).
+    rec.metrics.emplace_back("t_us", e.tUs);
+    for (const auto &field : e.fields)
+        rec.metrics.push_back(field);
+    return rec;
+}
+
+/**
+ * Drain the calling worker's attribution scope for the point it just
+ * computed: write the side file, ledger the partitioner decisions, and
+ * deposit the batch for dashboard export. Returns the side-file path
+ * ("" when nothing was recorded or the write failed).
+ */
+std::string
+exportPointAttribution(const SweepRunnerOptions &opts,
+                       const ExperimentSpec &spec)
+{
+    obs::AttributionBatch batch = obs::timeseries().drainScope();
+    if (batch.samples.empty() && batch.journal.empty())
+        return {};
+    batch.label = pointLabel(spec);
+    batch.specHash = spec.hash();
+    batch.attrFile = attrFilePath(opts, spec);
+    {
+        std::ofstream out(batch.attrFile);
+        if (out) {
+            obs::writeAttributionJson(out, batch);
+            if (obs::enabled())
+                obs::metrics().counter("exec.attr_files").inc();
+        } else {
+            std::fprintf(stderr,
+                         "capart: cannot write attribution file %s\n",
+                         batch.attrFile.c_str());
+            batch.attrFile.clear();
+        }
+    }
+    if (opts.ledger) {
+        for (const obs::JournalEntry &e : batch.journal) {
+            if (e.kind == "decision")
+                opts.ledger->append(decisionRecord(opts, spec, e));
+        }
+    }
+    std::string path = batch.attrFile;
+    obs::timeseries().deposit(std::move(batch));
+    return path;
+}
+
 } // namespace
 
 SweepRunner::SweepRunner(SweepRunnerOptions opts) : opts_(std::move(opts))
@@ -243,8 +345,14 @@ SweepRunner::run(const std::vector<ExperimentSpec> &specs)
                 .count();
         if (cache)
             cache->store(specCacheKey(specs[i], opts_.baseSeed), r);
-        if (opts_.ledger)
-            opts_.ledger->append(pointRecord(opts_, specs[i], r, wall_ms));
+        std::string attr_file;
+        if (!opts_.attrDir.empty() && obs::enabled())
+            attr_file = exportPointAttribution(opts_, specs[i]);
+        if (opts_.ledger) {
+            obs::RunRecord rec = pointRecord(opts_, specs[i], r, wall_ms);
+            rec.attrFile = attr_file;
+            opts_.ledger->append(rec);
+        }
         results[i] = r;
         std::lock_guard<std::mutex> lock(progress_mutex);
         report();

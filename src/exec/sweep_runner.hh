@@ -104,6 +104,21 @@ struct SweepRunnerOptions
     std::string benchName;
     /** Invocation id shared by all of this run's ledger records. */
     std::string runId;
+    /**
+     * Directory for per-point attribution side files; empty disables.
+     * When set (and observability is armed), each computed point's
+     * attribution scope — the time-series samples and control-plane
+     * journal its worker thread accumulated — is drained after the
+     * point finishes and written to
+     * `<attrDir>/<bench>-<runId>-<spec hash>.json`. The point's
+     * ledger record then carries the path in `attr_file`, the point's
+     * partitioner decisions are appended to the ledger as `decision`
+     * records, and the batch is deposited with obs::timeseries() so a
+     * later dashboard export sees it. Cache hits skip all of this:
+     * a replayed point executes nothing, so there is nothing to
+     * attribute. The directory must already exist.
+     */
+    std::string attrDir;
 };
 
 /** Fans specs across a thread pool; results in submission order. */

@@ -112,6 +112,26 @@ class SetAssocCache
     /** Number of resident lines whose set index falls in this cache. */
     std::uint64_t residentLines() const;
 
+    /**
+     * Visit every resident line as (lineAddr, way). Read-only walk of
+     * the tag array in (set, way) order; the attribution sampler uses
+     * it to count occupancy per owning application.
+     */
+    template <typename Fn>
+    void
+    forEachResident(Fn &&fn) const
+    {
+        for (std::uint64_t set = 0; set < sets_; ++set) {
+            const std::uint32_t valid = valid_[set];
+            if (!valid)
+                continue;
+            for (unsigned way = 0; way < ways_; ++way) {
+                if (valid & (1u << way))
+                    fn(tags_[set * ways_ + way] - 1, way);
+            }
+        }
+    }
+
     /** Set index for @p line under this cache's indexing function. */
     std::uint64_t setIndex(Addr line) const;
 

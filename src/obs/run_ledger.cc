@@ -121,6 +121,12 @@ RunLedger::encode(const RunRecord &rec)
     jsonWriteNumber(os, rec.simS);
     os << ",\"cached\":" << (rec.fromCache ? "true" : "false");
     os << ",\"spec\":\"" << jsonEscape(rec.spec) << '"';
+    // Optional fields are written only when set, so records from
+    // before these fields existed re-encode byte-identically.
+    if (!rec.attrFile.empty())
+        os << ",\"attr_file\":\"" << jsonEscape(rec.attrFile) << '"';
+    if (!rec.rule.empty())
+        os << ",\"rule\":\"" << jsonEscape(rec.rule) << '"';
     writePairs(os, "metrics", rec.metrics);
     writePairs(os, "counters", rec.counters);
     os << '}';
@@ -148,9 +154,12 @@ RunLedger::decode(const std::string &line, RunRecord *out)
     rec.wallMs = doc->at("wall_ms").asNum();
     rec.simS = doc->at("sim_s").asNum();
     rec.fromCache = doc->at("cached").asBool();
+    rec.attrFile = doc->at("attr_file").asStr();
+    rec.rule = doc->at("rule").asStr();
     readPairs(doc->at("metrics"), &rec.metrics);
     readPairs(doc->at("counters"), &rec.counters);
-    if (rec.kind != "point" && rec.kind != "bench")
+    if (rec.kind != "point" && rec.kind != "bench" &&
+        rec.kind != "decision")
         return false;
     *out = std::move(rec);
     return true;

@@ -3,16 +3,21 @@
  * Append-only JSONL run ledger: the durable record every experiment
  * run leaves behind.
  *
- * One ledger is one file of newline-delimited JSON records. Two kinds
- * of record exist:
+ * One ledger is one file of newline-delimited JSON records. Three
+ * kinds of record exist:
  *
  *  - `point`  — one @ref capart::exec::SweepRunner sweep point: the
  *    spec's canonical encoding and hash, the base seed, host wall time,
  *    simulated time, cache provenance, and the point's headline figures
  *    (FG slowdown, BG throughput, energy deltas) as a flat name→value
- *    metric map;
+ *    metric map; when attribution sampling was on, also a pointer to
+ *    the point's attribution side file (`attr_file`);
  *  - `bench`  — one bench-binary invocation: total wall time plus a
- *    snapshot of the observability counters at exit.
+ *    snapshot of the observability counters at exit;
+ *  - `decision` — one dynamic-partitioner control decision taken while
+ *    computing a point: the complete decision inputs and outputs as
+ *    the metric map, the fired rule in `rule`, so the decision can be
+ *    replayed deterministically from the record alone.
  *
  * Records carry a `run` id (bench + seed + start timestamp) so a single
  * growing ledger holds the full trajectory of repeated runs; the report
@@ -44,7 +49,8 @@ namespace capart::obs
 /** One ledger line; plain data, serializable both ways. */
 struct RunRecord
 {
-    /** "point" (sweep point) or "bench" (whole binary invocation). */
+    /** "point" (sweep point), "bench" (binary invocation), or
+     *  "decision" (one partitioner control decision). */
     std::string kind = "point";
     /** Bench the record belongs to (e.g. "fig13_dynamic"). */
     std::string bench;
@@ -68,6 +74,10 @@ struct RunRecord
     std::vector<std::pair<std::string, double>> metrics;
     /** Observability counter snapshot (bench records). */
     std::vector<std::pair<std::string, double>> counters;
+    /** Path of the point's attribution sample file ("" = none). */
+    std::string attrFile;
+    /** Decision records: the rule that fired ("" otherwise). */
+    std::string rule;
 
     /** Value of metric @p name, or @p fallback when absent. */
     double metric(const std::string &name, double fallback = 0.0) const;

@@ -76,10 +76,22 @@ Tracer::record(const char *name, const char *cat, double ts_us,
     Ring &r = ring();
     if (r.recorded >= r.buf.size()) {
         // The slot we are about to take still holds a retained event:
-        // this write evicts it. Count the loss so exports can say how
-        // much of the timeline the ring forgot.
+        // this write evicts it. Count the loss — per track of the
+        // *evicted* event, so a sim-instant flood that pushes host
+        // spans out of the ring is charged to the host track — so
+        // exports can say how much of each timeline the ring forgot.
         static Counter &drops = metrics().counter("trace.dropped");
         drops.inc();
+        const Event &victim = r.buf[r.next];
+        if (victim.track == static_cast<std::uint8_t>(Track::Host)) {
+            static Counter &host = metrics().counter("trace.dropped.host");
+            host.inc();
+            ++r.droppedHost;
+        } else {
+            static Counter &sim = metrics().counter("trace.dropped.sim");
+            sim.inc();
+            ++r.droppedSim;
+        }
     }
     Event &e = r.buf[r.next];
     e.name = name;
@@ -142,6 +154,16 @@ Tracer::dropped() const
     return n;
 }
 
+std::uint64_t
+Tracer::dropped(Track track) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t n = 0;
+    for (const auto &r : rings_)
+        n += track == Track::Host ? r->droppedHost : r->droppedSim;
+    return n;
+}
+
 void
 Tracer::clear()
 {
@@ -149,6 +171,8 @@ Tracer::clear()
     for (const auto &r : rings_) {
         r->next = 0;
         r->recorded = 0;
+        r->droppedSim = 0;
+        r->droppedHost = 0;
     }
 }
 
@@ -160,11 +184,15 @@ Tracer::writeChromeTrace(std::ostream &os) const
     // may still be appending; the snapshot is whatever has landed.
     std::vector<Event> events;
     std::uint64_t dropped_events = 0;
+    std::uint64_t dropped_sim = 0;
+    std::uint64_t dropped_host = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (const auto &r : rings_) {
             if (r->recorded > r->buf.size())
                 dropped_events += r->recorded - r->buf.size();
+            dropped_sim += r->droppedSim;
+            dropped_host += r->droppedHost;
             const std::size_t cap = r->buf.size();
             const std::size_t n =
                 static_cast<std::size_t>(std::min<std::uint64_t>(
@@ -211,7 +239,12 @@ Tracer::writeChromeTrace(std::ostream &os) const
         }
         os << "}";
     }
+    // dropped_events counts every eviction regardless of track;
+    // the per-track fields split it (host drops used to be invisible
+    // to consumers that only look at per-track totals).
     os << "\n], \"metadata\": {\"dropped_events\": " << dropped_events
+       << ", \"dropped_sim_events\": " << dropped_sim
+       << ", \"dropped_host_events\": " << dropped_host
        << ", \"retained_events\": " << events.size() << "}}\n";
 }
 

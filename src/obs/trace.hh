@@ -83,6 +83,14 @@ class Tracer
     /** Events overwritten because a ring filled. */
     std::uint64_t dropped() const;
 
+    /**
+     * Events of @p track overwritten because a ring filled. Eviction
+     * inspects the event actually overwritten, so host-track spans
+     * pushed out by a flood of sim-track instants (or vice versa) are
+     * charged to the right track.
+     */
+    std::uint64_t dropped(Track track) const;
+
     /** Forget all recorded events (rings stay allocated). */
     void clear();
 
@@ -114,6 +122,9 @@ class Tracer
         std::vector<Event> buf;
         std::size_t next = 0;      //!< slot the next event lands in
         std::uint64_t recorded = 0; //!< events ever recorded
+        /** Evicted events, split by the *evicted* event's track. */
+        std::uint64_t droppedSim = 0;
+        std::uint64_t droppedHost = 0;
         std::uint32_t tid;
     };
 

@@ -75,6 +75,8 @@ groupRuns(const std::vector<obs::RunRecord> &records)
             g->startTsMs = rec.tsMs;
         if (rec.kind == "bench")
             g->benchRecords.push_back(rec);
+        else if (rec.kind == "decision")
+            g->decisions.push_back(rec);
         else
             g->points.push_back(rec);
     }
@@ -216,6 +218,7 @@ compareRuns(const RunGroup &baseline, const RunGroup &current,
 
         double base_sum = 0.0;
         double cur_sum = 0.0;
+        double worst_move = 0.0;
         const double kAbsent = std::nan("");
         for (const auto &[spec, cur_rec] : cur_by_spec) {
             const auto bit = base_by_spec.find(spec);
@@ -230,10 +233,16 @@ compareRuns(const RunGroup &baseline, const RunGroup &current,
             cur_sum += cur_v;
             const double worse_move =
                 static_cast<double>(dir) * (cur_v - base_v);
-            if (worse_move > 0.0)
+            if (worse_move > 0.0) {
                 ++mc.worse;
-            else if (worse_move < 0.0)
+                if (worse_move > worst_move) {
+                    worst_move = worse_move;
+                    mc.worstSpecHash = spec;
+                    mc.worstAttrFile = cur_rec->attrFile;
+                }
+            } else if (worse_move < 0.0) {
                 ++mc.better;
+            }
             // dir == 0: both counters stay 0; the metric reports only.
         }
         if (mc.pairs == 0)
@@ -314,6 +323,25 @@ writeMarkdown(std::ostream &os, const std::vector<RunGroup> &groups,
            << m.pairs << " | " << m.worse << "/" << m.better << " | "
            << formatDouble(m.pValue, "%.3g") << " | "
            << verdictName(m.verdict) << " |\n";
+    }
+
+    // Point every gated metric at the single pair that regressed
+    // hardest, with the attribution timeline when the run recorded one
+    // — the fastest path from "the gate fired" to "who ate the cache".
+    bool have_worst = false;
+    for (const MetricComparison &m : cmp->metrics) {
+        if (m.verdict == Verdict::Pass || m.worstSpecHash == 0)
+            continue;
+        if (!have_worst) {
+            have_worst = true;
+            os << "\n### Worst pairs\n\n";
+        }
+        char hash[24];
+        std::snprintf(hash, sizeof(hash), "%016" PRIx64, m.worstSpecHash);
+        os << "- `" << m.name << "`: spec `0x" << hash << "`";
+        if (!m.worstAttrFile.empty())
+            os << " — attribution timeline `" << m.worstAttrFile << "`";
+        os << "\n";
     }
 }
 

@@ -47,6 +47,9 @@ struct RunGroup
     std::vector<obs::RunRecord> points;
     /** The run's closing `bench` records (normally one). */
     std::vector<obs::RunRecord> benchRecords;
+    /** Partitioner `decision` records, in ledger order. They never
+     *  enter metric pairing — a decision is not a sweep point. */
+    std::vector<obs::RunRecord> decisions;
 
     /** Points replayed from the memoization cache. */
     std::size_t cachedPoints() const;
@@ -129,6 +132,13 @@ struct MetricComparison
     /** Sign-test p-value for "current is worse" (1 when untestable). */
     double pValue = 1.0;
     Verdict verdict = Verdict::Pass;
+    /** Spec hash of the pair that moved furthest in the worse
+     *  direction (0 when no pair moved worse). */
+    std::uint64_t worstSpecHash = 0;
+    /** That pair's current-run attribution side file ("" when the run
+     *  recorded none); lets a regression report link straight to the
+     *  offending point's resource timeline. */
+    std::string worstAttrFile;
 };
 
 /** A full baseline-vs-current comparison. */

@@ -35,6 +35,17 @@ struct AppRunStats
     std::uint64_t dramWrites = 0;
     std::uint64_t uncachedBytes = 0;
 
+    /**
+     * Cycle attribution buckets (compute / exposed L2 / exposed LLC /
+     * DRAM / queueing). Maintained only while obs recording is on;
+     * when populated they partition `cycles` exactly.
+     */
+    std::uint64_t stallCompute = 0;
+    std::uint64_t stallL2 = 0;
+    std::uint64_t stallLlc = 0;
+    std::uint64_t stallDram = 0;
+    std::uint64_t stallQueue = 0;
+
     /** Instructions per second over the measured interval. */
     double throughputIps = 0.0;
 

@@ -4,18 +4,11 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 
 namespace capart
 {
-
-namespace
-{
-
-/** Address-space stride between applications (1 TB apart: never alias). */
-constexpr Addr kAppAddressStride = 1ULL << 40;
-
-} // namespace
 
 System::System(const SystemConfig &cfg)
     : cfg_(cfg),
@@ -312,8 +305,12 @@ System::stepHt(HwThreadId ht)
     q.ringExtra = ring_->extraLatency(h.localTime);
 
     const bool peer = siblingActive(ht);
-    const Cycles model_cycles = timing_.quantumCycles(
+    // The breakdown's terms sum (in declaration order) to the exact
+    // cycles quantumCycles() would return — attribution reuses the
+    // timing computation instead of re-deriving it.
+    const StallBreakdown stalls = timing_.quantumBreakdown(
         q, a.params.baseIpc, wl.effectiveMlp(progress), peer, latencies_);
+    const Cycles model_cycles = CoreTimingModel::totalCycles(stalls);
     Cycles cycles = model_cycles;
     if (sliceFaults_) {
         // An injected stall stretches the quantum: the thread holds the
@@ -349,10 +346,28 @@ System::stepHt(HwThreadId ht)
             h.app);
     }
 
-    energy_.addBusy(dt, peer);
-    energy_.addLlcAccesses(llc_demand + prefetch_fills);
-    energy_.addDramLines(dram_reads + dram_writes);
-    energy_.addDramBytes(uncached_bytes);
+    energy_.addBusy(dt, peer, h.app);
+    energy_.addLlcAccesses(llc_demand + prefetch_fills, h.app);
+    energy_.addDramLines(dram_reads + dram_writes, h.app);
+    energy_.addDramBytes(uncached_bytes, h.app);
+
+    if (obs::enabled()) {
+        // Split the quantum's integer cycles across the stall buckets
+        // by truncating the breakdown's running prefix sums: the five
+        // buckets always sum to exactly the cycles charged, and each
+        // bucket is within one cycle of its fractional share.
+        const auto c0 = static_cast<Cycles>(stalls.base);
+        const auto c1 = static_cast<Cycles>(stalls.base + stalls.l2);
+        const auto c2 =
+            static_cast<Cycles>((stalls.base + stalls.l2) + stalls.llc);
+        a.stallCompute += c0;
+        a.stallL2 += c1 - c0;
+        a.stallLlc += c2 - c1;
+        a.stallDram += model_cycles - c2;
+        // Everything beyond the core model: bandwidth throttling and
+        // injected stalls, i.e. time spent queueing for shared pins.
+        a.stallQueue += cycles - model_cycles;
+    }
 
     h.localTime += dt;
     now_ = h.localTime;
@@ -371,6 +386,13 @@ System::stepHt(HwThreadId ht)
     a.dramWrites += dram_writes;
     a.uncachedBytes += uncached_bytes;
     a.perf->record(h.localTime, insts, llc_acc_counted, llc_miss_counted);
+
+    ++quanta_;
+    if (obs::enabled()) {
+        const std::uint64_t period = obs::timeseries().period();
+        if (period && quanta_ % period == 0)
+            recordAttributionSample();
+    }
 
     if (wl.done()) {
         if (a.continuous) {
@@ -396,6 +418,56 @@ System::stepHt(HwThreadId ht)
             }
         }
     }
+}
+
+void
+System::recordAttributionSample()
+{
+    obs::AttributionSample s;
+    s.tUs = now_ * 1e6;
+    s.quantum = quanta_;
+    const SetAssocCache &llc = hierarchy_->llc();
+    s.llcSets = llc.sets();
+    s.llcWays = cfg_.hierarchy.llc.ways;
+
+    s.owners.resize(apps_.size());
+    // One read-only tag walk attributes every resident line to the app
+    // whose 1 TB address window it falls in.
+    llc.forEachResident([&](Addr line, unsigned) {
+        ++s.llcResidentLines;
+        const AppId owner = appOfLine(line);
+        if (owner != kNoApp && owner < s.owners.size())
+            ++s.owners[owner].residentLines;
+    });
+
+    s.socketDynamicJ = energy_.dynamicSocketEnergy();
+    s.dramJ = energy_.dramTransferEnergy();
+
+    const unsigned chans = dram_->channels();
+    const double sets = static_cast<double>(s.llcSets);
+    for (AppId id = 0; id < apps_.size(); ++id) {
+        obs::OwnerSample &o = s.owners[id];
+        const AppState &a = apps_[id];
+        o.owner = id;
+        o.occupancyWays =
+            sets > 0.0 ? static_cast<double>(o.residentLines) / sets : 0.0;
+        o.wayMaskBits = hierarchy_->llcPartition(id).bits();
+        o.retired = a.retiredTotal;
+        o.cycles = a.cycles;
+        o.stallCompute = a.stallCompute;
+        o.stallL2 = a.stallL2;
+        o.stallLlc = a.stallLlc;
+        o.stallDram = a.stallDram;
+        o.stallQueue = a.stallQueue;
+        const OwnerEnergy e = energy_.ownerEnergy(id);
+        o.busyJ = e.busyJ;
+        o.llcJ = e.llcJ;
+        o.dramJ = e.dramJ;
+        o.channelBytes.resize(chans);
+        for (unsigned c = 0; c < chans; ++c)
+            o.channelBytes[c] = dram_->channelBytes(id, c);
+    }
+    obs::timeseries().record(std::move(s));
 }
 
 RunResult
@@ -478,6 +550,11 @@ System::run()
         s.dramReads = a.dramReads;
         s.dramWrites = a.dramWrites;
         s.uncachedBytes = a.uncachedBytes;
+        s.stallCompute = a.stallCompute;
+        s.stallL2 = a.stallL2;
+        s.stallLlc = a.stallLlc;
+        s.stallDram = a.stallDram;
+        s.stallQueue = a.stallQueue;
         s.throughputIps =
             makespan > 0.0
                 ? static_cast<double>(a.retiredTotal) / makespan

@@ -36,6 +36,25 @@ namespace capart
 class System;
 
 /**
+ * Address-space stride between applications (1 TB apart: never alias).
+ * Every address an app touches lies in [stride*(id+1), stride*(id+2)),
+ * so the owning app of any cache line is recoverable from the line
+ * address alone — the basis of per-owner LLC occupancy attribution.
+ */
+inline constexpr Addr kAppAddressStride = 1ULL << 40;
+
+/**
+ * App that owns cache line @p line, or kNoApp for an address outside
+ * every app's window (nothing the workload generators emit).
+ */
+inline AppId
+appOfLine(Addr line)
+{
+    const Addr slot = line / (kAppAddressStride / kLineBytes);
+    return slot >= 1 ? static_cast<AppId>(slot - 1) : kNoApp;
+}
+
+/**
  * Software hook invoked as perf windows complete — the role the paper's
  * user-level monitoring framework plays (§6.2). Implementations may
  * repartition the LLC through the System reference.
@@ -124,6 +143,9 @@ class System
     const PerfMonitor &monitor(AppId app) const;
     CacheHierarchy &hierarchy() { return *hierarchy_; }
     DramModel &dram() { return *dram_; }
+    const EnergyModel &energy() const { return energy_; }
+    /** Quanta executed so far (the attribution sampling clock). */
+    std::uint64_t quantaExecuted() const { return quanta_; }
     const SystemConfig &config() const { return cfg_; }
     const AppParams &appParams(AppId app) const;
     /** True if @p app was launched in continuous (background) mode. */
@@ -145,6 +167,18 @@ class System
         std::uint64_t dramReads = 0;
         std::uint64_t dramWrites = 0;
         std::uint64_t uncachedBytes = 0;
+        /**
+         * Where the app's cycles went (obs-gated; zero when obs is
+         * off). The five buckets partition `cycles` exactly: each
+         * quantum's total is split by truncating the running prefix
+         * sums of the stall breakdown, so no cycle is counted twice
+         * or lost.
+         */
+        std::uint64_t stallCompute = 0;
+        std::uint64_t stallL2 = 0;
+        std::uint64_t stallLlc = 0;
+        std::uint64_t stallDram = 0;
+        std::uint64_t stallQueue = 0;
         bool completed = false;
         Seconds completionTime = 0.0;
         unsigned iterations = 0;
@@ -165,6 +199,9 @@ class System
 
     /** Run one quantum on hyperthread @p ht. */
     void stepHt(HwThreadId ht);
+
+    /** Snapshot one per-owner attribution sample (obs-gated). */
+    void recordAttributionSample();
 
     /** Hyperthread with the minimum local time among runnable ones. */
     std::optional<HwThreadId> pickNext() const;
@@ -192,6 +229,7 @@ class System
 
     Seconds now_ = 0.0;
     bool ran_ = false;
+    std::uint64_t quanta_ = 0; //!< attribution sampling clock
 
     /** Scratch buffers reused across quanta (no per-quantum allocation). */
     std::vector<MemAccess> accessBuf_;

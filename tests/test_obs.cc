@@ -656,6 +656,45 @@ TEST(ObsTracer, ExportFooterReportsDroppedAndRetainedCounts)
               drops_before + 6);
 }
 
+TEST(ObsTracer, ExportFooterSplitsDropsByTrack)
+{
+    CAPART_REQUIRE_OBS_COMPILED_IN();
+    ObsEnabledGuard on;
+    const std::uint64_t host_before =
+        obs::metrics().counter("trace.dropped.host").value();
+
+    constexpr std::size_t kCap = 4;
+    obs::Tracer t(kCap);
+    // Two host spans first, then a sim-instant flood. The flood evicts
+    // the host events; the loss must be charged to the *victim's*
+    // track, not the writer's, or host drops become invisible.
+    t.complete("h1", "test", 0.0, 1.0, {}, obs::Track::Host);
+    t.complete("h2", "test", 1.0, 1.0, {}, obs::Track::Host);
+    for (unsigned i = 0; i < 10; ++i)
+        t.instant("s", "test", 2.0 + i);
+
+    EXPECT_EQ(t.dropped(obs::Track::Host), 2u);
+    EXPECT_EQ(t.dropped(obs::Track::Sim), 6u);
+    EXPECT_EQ(t.dropped(), 8u);
+
+    std::ostringstream os;
+    t.writeChromeTrace(os);
+    const Json root = parseJsonOrFail(os.str());
+    EXPECT_DOUBLE_EQ(root.at("metadata").at("dropped_events").num, 8.0);
+    EXPECT_DOUBLE_EQ(root.at("metadata").at("dropped_host_events").num,
+                     2.0);
+    EXPECT_DOUBLE_EQ(root.at("metadata").at("dropped_sim_events").num,
+                     6.0);
+
+    // The per-track counter moved by exactly the host losses.
+    EXPECT_EQ(obs::metrics().counter("trace.dropped.host").value(),
+              host_before + 2);
+
+    t.clear();
+    EXPECT_EQ(t.dropped(obs::Track::Host), 0u);
+    EXPECT_EQ(t.dropped(obs::Track::Sim), 0u);
+}
+
 TEST(ObsTracer, FullExportReportsZeroDropped)
 {
     CAPART_REQUIRE_OBS_COMPILED_IN();
