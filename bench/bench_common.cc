@@ -1,6 +1,8 @@
 #include "bench_common.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -9,6 +11,10 @@
 #include <iostream>
 #include <memory>
 #include <thread>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "common/logging.hh"
 #include "dashboard/dashboard.hh"
@@ -42,6 +48,57 @@ std::string gBenchName;                      // NOLINT(cert-err58-cpp)
 std::string gRunId;                          // NOLINT(cert-err58-cpp)
 std::uint64_t gSeed = 0;
 std::chrono::steady_clock::time_point gWallStart;
+
+/** Re-exec command of this invocation (shard supervisors spawn it). */
+std::vector<std::string> gWorkerCmd; // NOLINT(cert-err58-cpp)
+
+/** Signal received (0 = none); polled by shard supervisors/workers. */
+volatile std::sig_atomic_t gStopSignal = 0;
+/** True when a shard supervisor or worker owns shutdown: the handler
+ *  only sets the flag and the sweep loop exits at a point boundary. */
+bool gCooperativeShutdown = false;
+
+/**
+ * SIGTERM/SIGINT: flush everything, then die with the conventional
+ * 128+signal code. In cooperative mode (shard supervisor or worker)
+ * only the flag is set — the sweep loop notices at the next point
+ * boundary, merges/flushes, and exits itself. Otherwise we exit here:
+ * std::exit from a handler is formally unsafe, but an interrupted
+ * bench that flushes its ledger/metrics/trace through the atexit
+ * exporters beats one that silently loses the run — and a second
+ * signal always aborts immediately.
+ */
+extern "C" void
+onStopSignal(int sig)
+{
+    if (gStopSignal != 0)
+        std::_Exit(128 + sig); // second signal: no more patience
+    gStopSignal = sig;
+    if (!gCooperativeShutdown)
+        std::exit(128 + sig);
+}
+
+void
+installSignalHandlers()
+{
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+}
+
+/** Path of the running binary (re-exec target for shard workers). */
+std::string
+selfExePath(const char *argv0)
+{
+#ifndef _WIN32
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+#endif
+    return argv0 ? argv0 : "";
+}
 
 double
 unixMillisNow()
@@ -157,6 +214,17 @@ parseArgs(int argc, char **argv, double default_scale,
     BenchOptions opts;
     opts.scale = default_scale;
     gWallStart = std::chrono::steady_clock::now();
+    installSignalHandlers();
+    // Re-exec command for shard workers: the resolved binary plus every
+    // flag as given. The supervisor appends --shards/--shard-worker/
+    // --ledger-dir, which override because later flags win here.
+    gWorkerCmd.clear();
+    gWorkerCmd.push_back(selfExePath(argv[0]));
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--shard-worker=", 0) != 0)
+            gWorkerCmd.push_back(argv[i]);
+    }
+    bool isolation_process = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--scale=", 0) == 0) {
@@ -204,6 +272,35 @@ parseArgs(int argc, char **argv, double default_scale,
             opts.dashboardOut = arg.substr(16);
             gDashboardOut = opts.dashboardOut;
             enableObsExport();
+        } else if (arg.rfind("--shards=", 0) == 0) {
+            opts.shards = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 9, nullptr, 10));
+            if (opts.shards == 0)
+                opts.shards = std::thread::hardware_concurrency();
+            if (opts.shards > 1)
+                isolation_process = true;
+        } else if (arg.rfind("--isolation=", 0) == 0) {
+            const std::string mode = arg.substr(12);
+            if (mode == "process") {
+                isolation_process = true;
+            } else if (mode == "thread" || mode == "none") {
+                isolation_process = false;
+                opts.shards = 0;
+            } else {
+                std::fprintf(stderr, "invalid --isolation (want "
+                                     "process or thread)\n");
+                std::exit(1);
+            }
+        } else if (arg.rfind("--shard-worker=", 0) == 0) {
+            opts.shardWorker = static_cast<int>(
+                std::strtol(arg.c_str() + 15, nullptr, 10));
+        } else if (arg.rfind("--ledger-dir=", 0) == 0) {
+            opts.ledgerDir = arg.substr(13);
+        } else if (arg.rfind("--point-timeout=", 0) == 0) {
+            opts.pointTimeoutS = std::atof(arg.c_str() + 16);
+        } else if (arg.rfind("--max-retries=", 0) == 0) {
+            opts.maxRetries = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 14, nullptr, 10));
         } else if (arg.rfind("--log-out=", 0) == 0) {
             opts.logOut = arg.substr(10);
             setLogSink(opts.logOut);
@@ -259,7 +356,24 @@ parseArgs(int argc, char **argv, double default_scale,
                         "  --log-out=F  structured JSONL event log to F "
                         "(\"-\" = stderr)\n"
                         "  --log-level=L  drop structured events below L "
-                        "(debug|info|warn|error)\n",
+                        "(debug|info|warn|error)\n"
+                        "  --shards=N   run sweeps across N supervised "
+                        "worker processes\n"
+                        "               (crash/hang isolation; 0 = all "
+                        "host cores);\n"
+                        "               merged output is bit-identical "
+                        "to --jobs=1\n"
+                        "  --isolation=M  process (same as --shards) or "
+                        "thread (default)\n"
+                        "  --ledger-dir=D shard segment/results/log "
+                        "files under D\n"
+                        "               (default <cache-dir>/shards)\n"
+                        "  --point-timeout=S  kill a shard stuck on one "
+                        "point for S s\n"
+                        "               (default 300, 0 disables)\n"
+                        "  --max-retries=N  retries before a failing "
+                        "point is quarantined\n"
+                        "               (default 2)\n",
                         description, argv[0], default_scale,
                         kDefaultCacheDir);
             std::exit(arg == "--help" ? 0 : 1);
@@ -271,6 +385,28 @@ parseArgs(int argc, char **argv, double default_scale,
     }
     if (opts.cacheDir.empty())
         opts.cacheDir = kDefaultCacheDir;
+    if (isolation_process && opts.shards < 2) {
+        opts.shards = opts.jobs > 1 ? opts.jobs
+                                    : std::thread::hardware_concurrency();
+        opts.shards = std::max(opts.shards, 2u);
+    }
+    if (opts.shardWorker >= 0) {
+        // Shard worker: its records go to its own ledger segment, and
+        // the supervising parent owns every user-facing export.
+        // Exporting from here too would clobber the parent's files and
+        // double-count bench records once the segments are merged.
+        gMetricsOut.clear();
+        gTraceOut.clear();
+        gDashboardOut.clear();
+        opts.ledgerOut.clear();
+    }
+    if (opts.shards > 1 || opts.shardWorker >= 0) {
+        if (opts.ledgerDir.empty())
+            opts.ledgerDir = opts.cacheDir + "/shards";
+        // The sweep loop owns shutdown: the handler only sets the flag
+        // and the supervisor/worker exits at a point boundary.
+        gCooperativeShutdown = true;
+    }
     if (!opts.ledgerOut.empty()) {
         // Built after the loop so the id reflects the final --seed no
         // matter the flag order.
@@ -303,12 +439,27 @@ makeRunner(const BenchOptions &opts, const std::string &bench_name)
         if (done == total)
             std::fputc('\n', stderr);
     };
+    ro.benchName = bench_name;
     if (gLedger) {
         ro.ledger = gLedger.get();
-        ro.benchName = gBenchName;
         ro.runId = gRunId;
     }
     ro.attrDir = gAttrDir;
+    // Process-isolated shard mode (see exec/shard_supervisor.hh).
+    ro.shards = opts.shards;
+    ro.shardWorker = opts.shardWorker;
+    ro.ledgerDir = opts.ledgerDir;
+    ro.resumeShards = opts.resume;
+    ro.pointTimeoutS = opts.pointTimeoutS;
+    ro.maxRetries = opts.maxRetries;
+    ro.workerCmd = gWorkerCmd;
+    ro.stopFlag = &gStopSignal;
+    if ((ro.shards > 1 || ro.shardWorker >= 0) && ro.runId.empty()) {
+        // Segment records need a run id even without --ledger.
+        ro.runId = bench_name + "-" + std::to_string(opts.seed) + "-" +
+                   std::to_string(
+                       static_cast<std::uint64_t>(unixMillisNow()));
+    }
     return exec::SweepRunner(ro);
 }
 

@@ -53,6 +53,20 @@ struct BenchOptions
     std::string attrDir;
     /** Render the HTML dashboard here on exit ("" = off). */
     std::string dashboardOut;
+    /** Process-isolated shard workers (--shards=N / --isolation=process;
+     *  0-1 = in-process thread pool). See exec/shard_supervisor.hh. */
+    unsigned shards = 0;
+    /** >= 0: this process is shard worker k (internal; the supervisor
+     *  passes it when re-executing the binary). */
+    int shardWorker = -1;
+    /** Directory for shard ledger segments / results / logs
+     *  (default `<cacheDir>/shards`). */
+    std::string ledgerDir;
+    /** Seconds a shard may go without completing a point before it is
+     *  presumed hung and killed (--point-timeout=S; 0 disables). */
+    double pointTimeoutS = 300.0;
+    /** Retries a failing point gets before quarantine. */
+    unsigned maxRetries = 2;
 };
 
 /**
@@ -75,6 +89,20 @@ struct BenchOptions
  * self-contained HTML dashboard over everything collected at exit.
  * --log-out opens the process-wide structured JSONL log (see
  * common/logging.hh).
+ *
+ * Robustness flags: --shards=N (or --isolation=process) runs sweeps
+ * process-isolated — N supervised worker processes, per-point
+ * timeouts (--point-timeout=S), bounded retries (--max-retries=N),
+ * quarantine, and a crash-safe ledger merge from segment files under
+ * --ledger-dir=D (see exec/shard_supervisor.hh). With --resume the
+ * supervisor keeps existing segments and fast-forwards past finished
+ * points, so a killed sweep continues where it stopped.
+ *
+ * parseArgs also installs SIGTERM/SIGINT handlers: an interrupted run
+ * flushes its ledger, metrics, and trace through the normal atexit
+ * exporters before exiting 128+signal (a second signal aborts
+ * immediately). Shard supervisors and workers instead observe the
+ * signal cooperatively at the next point boundary.
  */
 BenchOptions parseArgs(int argc, char **argv, double default_scale,
                        const char *description);

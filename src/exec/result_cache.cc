@@ -1,19 +1,25 @@
 #include "exec/result_cache.hh"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdlib>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace capart::exec
 {
 namespace
 {
 
-constexpr const char *kHeader = "# capart-sweep-cache v1";
+// v2 appends a per-line FNV-1a checksum (`c=<16 hex>`): a torn,
+// bit-flipped, or hand-mangled line fails verification and is
+// recomputed instead of poisoning a sweep. v1 files lack it and are
+// ignored wholesale (recompute beats wrong reuse).
+constexpr const char *kHeader = "# capart-sweep-cache v2";
 
 std::string
 hexDouble(double v)
@@ -21,6 +27,49 @@ hexDouble(double v)
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%a", v);
     return buf;
+}
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** One corrupt line / file seen: log-free counting (the caller warns). */
+void
+countCorrupt()
+{
+    if (obs::enabled())
+        obs::metrics().counter("cache.corrupt").inc();
+}
+
+/** Every stored double must be finite: a NaN/Inf entry is corruption
+ *  (no simulation result is legitimately non-finite) and returning it
+ *  would poison averages silently. */
+bool
+allFinite(const SweepResult &r)
+{
+    const double flat[] = {r.time,  r.socketEnergy, r.wallEnergy, r.mpki,
+                           r.apki, r.ipc,          r.bgThroughput};
+    for (const double v : flat) {
+        if (!std::isfinite(v))
+            return false;
+    }
+    for (const PolicyOutcome &p : r.policy) {
+        const double pv[] = {p.fgSlowdown, p.bgThroughput,
+                             p.energyVsSequential,
+                             p.wallEnergyVsSequential, p.weightedSpeedup};
+        for (const double v : pv) {
+            if (!std::isfinite(v))
+                return false;
+        }
+    }
+    return true;
 }
 
 } // namespace
@@ -107,8 +156,36 @@ ResultCache::decode(const std::string &body, SweepResult *out)
             return false;
         p.present = present != 0;
     }
+    if (in >> tok)
+        return false; // trailing junk after a full record
+    if (!allFinite(r))
+        return false;
     r.fromCache = true;
     *out = r;
+    return true;
+}
+
+std::string
+ResultCache::checksumLine(const std::string &keyed_body)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "c=%016" PRIx64, fnv1a64(keyed_body));
+    return keyed_body + ' ' + buf;
+}
+
+bool
+ResultCache::verifyLine(const std::string &line, std::string *keyed_body)
+{
+    const std::size_t sep = line.rfind(" c=");
+    if (sep == std::string::npos || line.size() - sep != 3 + 16)
+        return false;
+    const std::string body = line.substr(0, sep);
+    std::uint64_t stored = 0;
+    if (std::sscanf(line.c_str() + sep + 3, "%16" SCNx64, &stored) != 1)
+        return false;
+    if (stored != fnv1a64(body))
+        return false;
+    *keyed_body = body;
     return true;
 }
 
@@ -120,22 +197,47 @@ ResultCache::ResultCache(std::string path) : path_(std::move(path))
     std::string line;
     if (!std::getline(in, line) || line != kHeader) {
         capart_warn("ignoring incompatible sweep cache " << path_);
+        countCorrupt();
         return;
     }
     fileCompatible_ = true;
+    std::uint64_t bad = 0;
     while (std::getline(in, line)) {
         if (line.empty() || line[0] == '#')
             continue;
-        const std::size_t sep = line.find(' ');
-        if (sep == std::string::npos)
+        // Verify the whole line's checksum before believing one byte
+        // of it; then split off the key and decode the body. Any
+        // failure skips the line — the point simply recomputes.
+        std::string keyed_body;
+        if (!verifyLine(line, &keyed_body)) {
+            ++bad;
+            countCorrupt();
             continue;
+        }
+        const std::size_t sep = keyed_body.find(' ');
+        if (sep == std::string::npos) {
+            ++bad;
+            countCorrupt();
+            continue;
+        }
         std::uint64_t key = 0;
-        if (std::sscanf(line.c_str(), "%" SCNx64, &key) != 1)
+        if (std::sscanf(keyed_body.c_str(), "%" SCNx64, &key) != 1) {
+            ++bad;
+            countCorrupt();
             continue;
+        }
         SweepResult res;
-        // Tolerate truncated final lines from an interrupted run.
-        if (decode(line.substr(sep + 1), &res))
-            entries_.emplace(key, res);
+        if (!decode(keyed_body.substr(sep + 1), &res)) {
+            ++bad;
+            countCorrupt();
+            continue;
+        }
+        entries_[key] = res; // duplicate keys: last write wins
+    }
+    if (bad > 0) {
+        capart_warn("sweep cache " << path_ << ": skipped " << bad
+                                   << " corrupt line(s); those points "
+                                      "will recompute");
     }
 }
 
@@ -163,21 +265,21 @@ ResultCache::store(std::uint64_t key, const SweepResult &res)
         capart_warn("cannot write sweep cache " << path_);
         return;
     }
+    char keybuf[20];
     if (!append) {
         out << kHeader << '\n';
         fileCompatible_ = true;
         // Rewrite everything we know (covers the foreign-file case).
         for (const auto &[k, v] : entries_) {
-            char keybuf[20];
             std::snprintf(keybuf, sizeof(keybuf), "%016" PRIx64, k);
-            out << keybuf << ' ' << encode(v) << '\n';
+            out << checksumLine(std::string(keybuf) + ' ' + encode(v))
+                << '\n';
         }
         out.flush();
         return;
     }
-    char keybuf[20];
     std::snprintf(keybuf, sizeof(keybuf), "%016" PRIx64, key);
-    out << keybuf << ' ' << encode(res) << '\n';
+    out << checksumLine(std::string(keybuf) + ' ' + encode(res)) << '\n';
     out.flush();
 }
 

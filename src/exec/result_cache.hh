@@ -10,6 +10,14 @@
  * flushed as they complete, so a sweep killed mid-flight resumes from
  * its last finished point. Unreadable or version-mismatched files are
  * ignored wholesale (recompute beats wrong reuse).
+ *
+ * Hardened against corruption: every line carries an FNV-1a checksum
+ * (format v2), and loading verifies it — plus the finiteness of every
+ * stored double — before an entry is believed. A truncated tail, a
+ * flipped bit, or hand-edited garbage is logged, counted on the
+ * `cache.corrupt` observability counter, and skipped, so the affected
+ * point recomputes; a corrupt cache can never crash the runner or
+ * feed poisoned data into a sweep.
  */
 
 #ifndef CAPART_EXEC_RESULT_CACHE_HH
@@ -41,9 +49,16 @@ class ResultCache
     std::size_t size() const;
     const std::string &path() const { return path_; }
 
-    /** Serialize / parse one record body (exposed for tests). */
+    /** Serialize / parse one record body (exposed for tests). Decode
+     *  rejects malformed tokens, trailing junk, and non-finite values. */
     static std::string encode(const SweepResult &res);
     static bool decode(const std::string &body, SweepResult *out);
+
+    /** Append the v2 checksum suffix to "<hex key> <body>" (tests). */
+    static std::string checksumLine(const std::string &keyed_body);
+    /** Verify a full on-disk line's checksum; on success strips the
+     *  suffix into @p keyed_body (tests). */
+    static bool verifyLine(const std::string &line, std::string *keyed_body);
 
   private:
     std::string path_;

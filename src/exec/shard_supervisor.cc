@@ -1,0 +1,684 @@
+/**
+ * @file
+ * Implementation of the process-isolated shard supervisor and worker
+ * loop declared in shard_supervisor.hh. POSIX-only (posix_spawn,
+ * waitpid, kill); the build gates this file to non-Windows targets.
+ */
+
+#include "exec/shard_supervisor.hh"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.hh"
+#include "exec/result_cache.hh"
+#include "fault/process_chaos.hh"
+#include "obs/metrics.hh"
+#include "obs/run_ledger.hh"
+
+extern char **environ;
+
+namespace capart::exec
+{
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+unixMillisNow()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uintmax_t
+fileSizeOr0(const std::string &path)
+{
+    std::error_code ec;
+    const std::uintmax_t n = std::filesystem::file_size(path, ec);
+    return ec ? 0 : n;
+}
+
+/**
+ * What one shard's segment says has happened so far, filtered to the
+ * current base seed (a stale segment from a sweep with another seed
+ * must not fast-forward this one). The same digest drives both sides:
+ * the worker uses it to skip finished/quarantined points on respawn,
+ * the supervisor to identify the culprit a dead worker was computing
+ * (the dangling `point_start`) and how many attempts it has burned.
+ */
+struct SegmentState
+{
+    std::unordered_set<std::uint64_t> done;   ///< complete `point` records
+    std::unordered_set<std::uint64_t> failed; ///< quarantined specs
+    std::unordered_map<std::uint64_t, unsigned> starts; ///< attempts used
+};
+
+SegmentState
+readSegmentState(const std::string &path, std::uint64_t seed)
+{
+    SegmentState st;
+    const obs::RunLedger::LoadResult loaded = obs::RunLedger::load(path);
+    for (const obs::RunRecord &rec : loaded.records) {
+        if (rec.seed != seed)
+            continue;
+        if (rec.kind == "point")
+            st.done.insert(rec.specHash);
+        else if (rec.kind == "point_failed")
+            st.failed.insert(rec.specHash);
+        else if (rec.kind == "point_start")
+            ++st.starts[rec.specHash];
+    }
+    return st;
+}
+
+/** Exponential backoff before respawn attempt number @p spawns + 1. */
+Clock::duration
+backoffDelay(double base_ms, unsigned spawns)
+{
+    const unsigned exp = spawns > 0 ? std::min(spawns - 1, 5u) : 0u;
+    double d = base_ms * static_cast<double>(1u << exp);
+    d = std::min(d, 5000.0);
+    return std::chrono::milliseconds(static_cast<long>(d));
+}
+
+double
+backoffBaseMs()
+{
+    if (const char *env = std::getenv("CAPART_SHARD_BACKOFF_MS")) {
+        char *end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (end != env && v >= 0.0)
+            return v;
+    }
+    return 200.0;
+}
+
+void
+countIf(const char *name, std::uint64_t n = 1)
+{
+    if (n > 0 && obs::enabled())
+        obs::metrics().counter(name).inc(n);
+}
+
+/** One supervised worker process and its retry bookkeeping. */
+struct ShardState
+{
+    unsigned id = 0;
+    pid_t pid = -1;
+    /** Every assigned point is complete or quarantined. */
+    bool settled = false;
+    /** Waiting out a backoff delay before the next spawn. */
+    bool pendingRespawn = false;
+    unsigned spawns = 0;
+    /** Consecutive failures with neither a culprit point nor segment
+     *  progress — the worker is dying before it reaches any point. */
+    unsigned barren = 0;
+    std::uintmax_t sizeAtSpawn = 0;
+    std::uintmax_t lastSize = 0;
+    Clock::time_point lastBeat{};
+    Clock::time_point respawnAt{};
+    std::vector<std::size_t> assigned; ///< indexes into the spec vector
+};
+
+} // namespace
+
+unsigned
+shardOf(std::uint64_t spec_hash, unsigned shards)
+{
+    return shards > 0 ? static_cast<unsigned>(spec_hash % shards) : 0;
+}
+
+static std::string
+shardBase(const std::string &dir, const std::string &bench, unsigned shard)
+{
+    std::string base = dir;
+    base += '/';
+    base += bench.empty() ? "sweep" : bench;
+    base += "-shard-";
+    base += std::to_string(shard);
+    return base;
+}
+
+std::string
+shardSegmentPath(const std::string &dir, const std::string &bench,
+                 unsigned shard)
+{
+    return shardBase(dir, bench, shard) + ".seg.jsonl";
+}
+
+std::string
+shardResultsPath(const std::string &dir, const std::string &bench,
+                 unsigned shard)
+{
+    return shardBase(dir, bench, shard) + ".results";
+}
+
+std::string
+shardLogPath(const std::string &dir, const std::string &bench,
+             unsigned shard)
+{
+    return shardBase(dir, bench, shard) + ".log";
+}
+
+// ---------------------------------------------------------- worker --
+
+void
+runShardWorker(const SweepRunnerOptions &opts,
+               const std::vector<ExperimentSpec> &specs)
+{
+    const unsigned shards = opts.shards;
+    const unsigned k = static_cast<unsigned>(opts.shardWorker);
+    std::error_code ec;
+    std::filesystem::create_directories(opts.ledgerDir, ec);
+    const std::string seg_path =
+        shardSegmentPath(opts.ledgerDir, opts.benchName, k);
+
+    // Digest the segment an earlier attempt left *before* opening it
+    // for append: complete and quarantined points fast-forward, a
+    // dangling start means an attempt burned.
+    const SegmentState prior = readSegmentState(seg_path, opts.baseSeed);
+    obs::RunLedger segment(seg_path);
+    ResultCache results(
+        shardResultsPath(opts.ledgerDir, opts.benchName, k));
+    const fault::ProcessChaos chaos = fault::ProcessChaos::fromEnv();
+
+    SweepRunnerOptions wopts = opts;
+    wopts.progress = nullptr; // the parent watches the segment grow
+    wopts.ledger = nullptr;   // records target the segment explicitly
+
+    for (const ExperimentSpec &spec : specs) {
+        const std::uint64_t h = spec.hash();
+        if (shardOf(h, shards) != k)
+            continue;
+        if (opts.stopFlag && *opts.stopFlag != 0)
+            std::exit(128 + static_cast<int>(*opts.stopFlag));
+        if (prior.failed.count(h) != 0)
+            continue; // quarantined by the supervisor: never retried
+        SweepResult replay;
+        if (prior.done.count(h) != 0 &&
+            results.lookup(specCacheKey(spec, opts.baseSeed), &replay))
+            continue; // finished by an earlier attempt: fast-forward
+
+        unsigned attempt = 0;
+        const auto it = prior.starts.find(h);
+        if (it != prior.starts.end())
+            attempt = it->second;
+
+        // Durable liveness marker first: if this process dies inside
+        // the point, the dangling start is how the supervisor learns
+        // which point killed it and how many tries it has had.
+        obs::RunRecord start;
+        start.kind = "point_start";
+        start.bench = opts.benchName;
+        start.run = opts.runId;
+        start.spec = spec.canonical();
+        start.specHash = h;
+        start.seed = opts.baseSeed;
+        start.tsMs = unixMillisNow();
+        start.metrics.emplace_back("attempt",
+                                   static_cast<double>(attempt));
+        start.metrics.emplace_back("shard", static_cast<double>(k));
+        segment.append(start);
+
+        chaos.atPointStart(h, attempt);
+        computePoint(wopts, spec, &results, &segment);
+        if (chaos.tearAfterPoint(h, attempt))
+            fault::ProcessChaos::tearAndDie(seg_path);
+    }
+    std::exit(0);
+}
+
+// ------------------------------------------------------ supervisor --
+
+std::vector<SweepResult>
+runShardedSweep(const SweepRunnerOptions &opts,
+                const std::vector<ExperimentSpec> &specs)
+{
+    const unsigned shards = static_cast<unsigned>(std::min<std::size_t>(
+        opts.shards, specs.size()));
+    std::error_code ec;
+    std::filesystem::create_directories(opts.ledgerDir, ec);
+
+    const auto segPathOf = [&](unsigned k) {
+        return shardSegmentPath(opts.ledgerDir, opts.benchName, k);
+    };
+
+    std::vector<ShardState> st(shards);
+    std::vector<std::uint64_t> sweepHashes;
+    sweepHashes.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        sweepHashes.push_back(specs[i].hash());
+        st[shardOf(sweepHashes.back(), shards)].assigned.push_back(i);
+    }
+    for (unsigned k = 0; k < shards; ++k)
+        st[k].id = k;
+
+    if (!opts.resumeShards) {
+        for (unsigned k = 0; k < shards; ++k) {
+            std::filesystem::remove(segPathOf(k), ec);
+            std::filesystem::remove(
+                shardResultsPath(opts.ledgerDir, opts.benchName, k), ec);
+            std::filesystem::remove(
+                shardLogPath(opts.ledgerDir, opts.benchName, k), ec);
+        }
+    }
+
+    const double backoff_base = backoffBaseMs();
+
+    const auto allSettled = [&](const ShardState &s,
+                                const SegmentState &seg) {
+        for (const std::size_t idx : s.assigned) {
+            const std::uint64_t h = sweepHashes[idx];
+            if (seg.done.count(h) == 0 && seg.failed.count(h) == 0)
+                return false;
+        }
+        return true;
+    };
+
+    const auto quarantine = [&](const ShardState &s, std::size_t idx,
+                                const char *reason, unsigned attempts) {
+        obs::RunLedger seg(segPathOf(s.id));
+        obs::RunRecord rec;
+        rec.kind = "point_failed";
+        rec.bench = opts.benchName;
+        rec.run = opts.runId;
+        rec.spec = specs[idx].canonical();
+        rec.specHash = sweepHashes[idx];
+        rec.seed = opts.baseSeed;
+        rec.tsMs = unixMillisNow();
+        rec.rule = reason;
+        rec.metrics.emplace_back("attempts",
+                                 static_cast<double>(attempts));
+        rec.metrics.emplace_back("shard", static_cast<double>(s.id));
+        seg.append(rec);
+        capart_warn("shard " << s.id << ": quarantined point "
+                             << specs[idx].canonical() << " after "
+                             << attempts << " attempt(s) [" << reason
+                             << "]");
+        countIf("exec.points_quarantined");
+    };
+
+    const auto spawnShard = [&](ShardState &s) {
+        std::vector<std::string> args = opts.workerCmd;
+        args.push_back("--shards=" + std::to_string(opts.shards));
+        args.push_back("--shard-worker=" + std::to_string(s.id));
+        args.push_back("--ledger-dir=" + opts.ledgerDir);
+        std::vector<char *> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+
+        const std::string log =
+            shardLogPath(opts.ledgerDir, opts.benchName, s.id);
+        posix_spawn_file_actions_t fa;
+        posix_spawn_file_actions_init(&fa);
+        posix_spawn_file_actions_addopen(
+            &fa, 1, log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+        posix_spawn_file_actions_adddup2(&fa, 1, 2);
+        pid_t pid = -1;
+        const int rc = posix_spawn(&pid, argv[0], &fa, nullptr,
+                                   argv.data(), environ);
+        posix_spawn_file_actions_destroy(&fa);
+        s.pendingRespawn = false;
+        ++s.spawns;
+        if (rc != 0) {
+            capart_warn("shard " << s.id << ": posix_spawn failed: "
+                                 << std::strerror(rc));
+            s.pid = -1;
+            return false;
+        }
+        s.pid = pid;
+        s.sizeAtSpawn = fileSizeOr0(segPathOf(s.id));
+        s.lastSize = s.sizeAtSpawn;
+        s.lastBeat = Clock::now();
+        countIf("exec.shard_spawns");
+        return true;
+    };
+
+    /**
+     * A worker died (nonzero exit, SIGKILLed for a hang, or exited
+     * without finishing): decide quarantine vs. respawn. The culprit is
+     * the unfinished point with a dangling `point_start`; its start
+     * count is the attempts it has burned.
+     */
+    const auto onFailure = [&](ShardState &s, const char *reason) {
+        SegmentState seg = readSegmentState(segPathOf(s.id),
+                                            opts.baseSeed);
+        if (allSettled(s, seg)) {
+            s.settled = true;
+            return;
+        }
+        bool found = false;
+        std::size_t culprit = 0;
+        unsigned tries = 0;
+        for (const std::size_t idx : s.assigned) {
+            const std::uint64_t h = sweepHashes[idx];
+            if (seg.done.count(h) != 0 || seg.failed.count(h) != 0)
+                continue;
+            const auto it = seg.starts.find(h);
+            if (it != seg.starts.end() &&
+                (!found || it->second > tries)) {
+                found = true;
+                culprit = idx;
+                tries = it->second;
+            }
+        }
+        const bool progressed =
+            fileSizeOr0(segPathOf(s.id)) > s.sizeAtSpawn;
+        if (found) {
+            s.barren = 0;
+            if (tries > opts.maxRetries) {
+                quarantine(s, culprit, reason, tries);
+                seg.failed.insert(sweepHashes[culprit]);
+                if (allSettled(s, seg)) {
+                    s.settled = true;
+                    return;
+                }
+            }
+        } else if (progressed) {
+            s.barren = 0;
+        } else {
+            // Dying before reaching any point: the shard itself is
+            // broken (bad binary, bad environment). Bounded like a
+            // point, then everything left is quarantined — a sweep
+            // must end, never spin.
+            ++s.barren;
+            if (s.barren > opts.maxRetries) {
+                for (const std::size_t idx : s.assigned) {
+                    const std::uint64_t h = sweepHashes[idx];
+                    if (seg.done.count(h) == 0 &&
+                        seg.failed.count(h) == 0)
+                        quarantine(s, idx, "shard_failed", s.barren);
+                }
+                s.settled = true;
+                return;
+            }
+        }
+        countIf("exec.shard_retries");
+        s.pendingRespawn = true;
+        s.respawnAt =
+            Clock::now() + backoffDelay(backoff_base, s.spawns);
+    };
+
+    // ---- initial spawn ----------------------------------------------
+    for (ShardState &s : st) {
+        if (s.assigned.empty()) {
+            s.settled = true;
+            continue;
+        }
+        if (opts.resumeShards) {
+            const SegmentState seg =
+                readSegmentState(segPathOf(s.id), opts.baseSeed);
+            if (allSettled(s, seg)) {
+                s.settled = true;
+                continue;
+            }
+        }
+        if (!spawnShard(s)) {
+            s.pendingRespawn = true;
+            s.respawnAt =
+                Clock::now() + backoffDelay(backoff_base, s.spawns);
+        }
+    }
+
+    // ---- supervision loop -------------------------------------------
+    bool interrupted = false;
+    int stop_sig = 0;
+    std::vector<std::size_t> doneCounts(shards, 0);
+    std::size_t reportedDone = 0;
+
+    while (true) {
+        if (opts.stopFlag && *opts.stopFlag != 0) {
+            interrupted = true;
+            stop_sig = static_cast<int>(*opts.stopFlag);
+            // Graceful first: SIGTERM, a short grace period, SIGKILL.
+            for (ShardState &s : st)
+                if (s.pid > 0)
+                    kill(s.pid, SIGTERM);
+            const auto deadline =
+                Clock::now() + std::chrono::seconds(2);
+            bool alive = true;
+            while (alive && Clock::now() < deadline) {
+                alive = false;
+                for (ShardState &s : st) {
+                    if (s.pid <= 0)
+                        continue;
+                    int status = 0;
+                    if (waitpid(s.pid, &status, WNOHANG) == s.pid)
+                        s.pid = -1;
+                    else
+                        alive = true;
+                }
+                if (alive)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20));
+            }
+            for (ShardState &s : st) {
+                if (s.pid <= 0)
+                    continue;
+                kill(s.pid, SIGKILL);
+                int status = 0;
+                waitpid(s.pid, &status, 0);
+                s.pid = -1;
+            }
+            break;
+        }
+
+        bool any_active = false;
+        for (ShardState &s : st) {
+            if (s.settled)
+                continue;
+
+            if (s.pid > 0) {
+                int status = 0;
+                const pid_t r = waitpid(s.pid, &status, WNOHANG);
+                if (r == s.pid) {
+                    s.pid = -1;
+                    const bool clean = WIFEXITED(status) &&
+                                       WEXITSTATUS(status) == 0;
+                    if (clean) {
+                        const SegmentState seg = readSegmentState(
+                            segPathOf(s.id), opts.baseSeed);
+                        if (allSettled(s, seg))
+                            s.settled = true;
+                        else
+                            onFailure(s, "crash");
+                    } else {
+                        onFailure(s, "crash");
+                    }
+                }
+            }
+
+            if (s.pid > 0) {
+                // Liveness is the segment itself: each point append is
+                // a heartbeat. No growth within the timeout means the
+                // current point hung — SIGKILL and treat as a failure
+                // of that (dangling-start) point.
+                const std::uintmax_t size =
+                    fileSizeOr0(segPathOf(s.id));
+                if (size > s.lastSize) {
+                    s.lastSize = size;
+                    s.lastBeat = Clock::now();
+                    const SegmentState seg = readSegmentState(
+                        segPathOf(s.id), opts.baseSeed);
+                    std::size_t n = 0;
+                    for (const std::size_t idx : s.assigned) {
+                        const std::uint64_t h = sweepHashes[idx];
+                        if (seg.done.count(h) != 0 ||
+                            seg.failed.count(h) != 0)
+                            ++n;
+                    }
+                    doneCounts[s.id] = n;
+                } else if (opts.pointTimeoutS > 0.0 &&
+                           std::chrono::duration<double>(
+                               Clock::now() - s.lastBeat)
+                                   .count() > opts.pointTimeoutS) {
+                    capart_warn("shard "
+                                << s.id << ": no progress for "
+                                << opts.pointTimeoutS
+                                << "s, killing hung worker (pid "
+                                << s.pid << ")");
+                    kill(s.pid, SIGKILL);
+                    int status = 0;
+                    waitpid(s.pid, &status, 0);
+                    s.pid = -1;
+                    countIf("exec.shard_timeouts");
+                    onFailure(s, "timeout");
+                }
+            }
+
+            if (!s.settled && s.pid <= 0) {
+                if (!s.pendingRespawn) {
+                    // Defensive: never strand an unsettled shard.
+                    s.pendingRespawn = true;
+                    s.respawnAt = Clock::now();
+                }
+                if (Clock::now() >= s.respawnAt && !spawnShard(s)) {
+                    ++s.barren;
+                    if (s.barren > opts.maxRetries) {
+                        const SegmentState seg = readSegmentState(
+                            segPathOf(s.id), opts.baseSeed);
+                        for (const std::size_t idx : s.assigned) {
+                            const std::uint64_t h = sweepHashes[idx];
+                            if (seg.done.count(h) == 0 &&
+                                seg.failed.count(h) == 0)
+                                quarantine(s, idx, "shard_failed",
+                                           s.barren);
+                        }
+                        s.settled = true;
+                    } else {
+                        s.pendingRespawn = true;
+                        s.respawnAt = Clock::now() +
+                                      backoffDelay(backoff_base,
+                                                   s.spawns);
+                    }
+                }
+            }
+
+            if (!s.settled)
+                any_active = true;
+            else
+                doneCounts[s.id] = s.assigned.size();
+        }
+
+        if (opts.progress) {
+            std::size_t total_done = 0;
+            for (const std::size_t n : doneCounts)
+                total_done += n;
+            total_done = std::min(total_done, specs.size());
+            if (total_done > reportedDone) {
+                reportedDone = total_done;
+                opts.progress(total_done, specs.size());
+            }
+        }
+
+        if (!any_active)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    // ---- merge segments into the canonical ledger -------------------
+    std::vector<std::string> seg_paths;
+    seg_paths.reserve(shards);
+    for (unsigned k = 0; k < shards; ++k)
+        seg_paths.push_back(segPathOf(k));
+    obs::MergeOptions mo;
+    mo.filterSeed = true;
+    mo.expectedSeed = opts.baseSeed;
+    mo.specFilter = sweepHashes;
+    const obs::MergeResult merged = obs::mergeLedgerSegments(seg_paths, mo);
+    countIf("exec.merge_torn_lines", merged.tornLines);
+    countIf("exec.merge_duplicates_dropped", merged.duplicatesDropped);
+
+    std::unordered_set<std::uint64_t> quarantined;
+    for (const obs::RunRecord &rec : merged.records)
+        if (rec.kind == "point_failed")
+            quarantined.insert(rec.specHash);
+
+    if (opts.ledger) {
+        // Segments carry worker run ids (and, across a resume, several
+        // of them); the canonical ledger gets every record under the
+        // supervisor's single run id so the report layer groups the
+        // whole sweep as one run.
+        for (obs::RunRecord rec : merged.records) {
+            rec.run = opts.runId;
+            rec.bench = opts.benchName;
+            opts.ledger->append(rec);
+        }
+    }
+
+    if (interrupted) {
+        if (opts.ledger) {
+            obs::RunRecord rec;
+            rec.kind = "run_interrupted";
+            rec.bench = opts.benchName;
+            rec.run = opts.runId;
+            rec.seed = opts.baseSeed;
+            rec.tsMs = unixMillisNow();
+            rec.rule = stop_sig == SIGINT ? "SIGINT" : "SIGTERM";
+            opts.ledger->append(rec);
+        }
+        capart_inform("sweep interrupted: merged "
+                      << merged.records.size()
+                      << " completed record(s); resume with --resume");
+        // Exit through atexit so the bench exporters flush; the
+        // standard 128+signal code tells callers what stopped us.
+        std::exit(128 + stop_sig);
+    }
+
+    // ---- assemble results in spec order -----------------------------
+    std::vector<SweepResult> results(specs.size());
+    std::vector<std::unique_ptr<ResultCache>> caches(shards);
+    std::uint64_t recomputed = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const unsigned k = shardOf(sweepHashes[i], shards);
+        if (!caches[k])
+            caches[k] = std::make_unique<ResultCache>(
+                shardResultsPath(opts.ledgerDir, opts.benchName, k));
+        if (caches[k]->lookup(specCacheKey(specs[i], opts.baseSeed),
+                              &results[i])) {
+            // Computed by this sweep (in a worker), not replayed from a
+            // user-level cache: report it as fresh.
+            results[i].fromCache = false;
+            continue;
+        }
+        if (quarantined.count(sweepHashes[i]) != 0) {
+            results[i] = SweepResult{};
+            results[i].failed = true;
+            continue;
+        }
+        // Segment said done but the results file lost the entry
+        // (corrupt line): recompute inline — never return garbage.
+        ++recomputed;
+        results[i] =
+            computePoint(opts, specs[i], caches[k].get(), opts.ledger);
+    }
+    countIf("exec.shard_result_misses", recomputed);
+    if (opts.progress)
+        opts.progress(specs.size(), specs.size());
+    return results;
+}
+
+} // namespace capart::exec

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Process-isolated shard execution of sweeps: crash-safe, resumable,
+ * supervised.
+ *
+ * In shard mode a sweep's points are partitioned by spec hash across N
+ * child processes — re-executions of the same bench binary with
+ * `--shard-worker=k` — so a point that crashes the process, runs out
+ * of memory, or loops forever costs one shard attempt instead of the
+ * whole (possibly hours-long) run. The split of responsibilities:
+ *
+ *  - @ref runShardWorker (child): computes the points with
+ *    `spec.hash() % shards == k`, serially and in spec order. Before
+ *    each point it appends a `point_start` record (with the attempt
+ *    number) to its ledger segment `<dir>/<bench>-shard-k.seg.jsonl`;
+ *    after, the full `point` record plus a bit-exact entry in
+ *    `<dir>/<bench>-shard-k.results` (hexfloat @ref ResultCache).
+ *    On (re)start it loads its own segment and skips points already
+ *    complete or quarantined — that single rule makes every respawn
+ *    and every `--resume` a cheap fast-forward. Chaos hooks
+ *    (fault/process_chaos.hh) fire between those steps when armed.
+ *
+ *  - @ref runShardedSweep (parent): spawns the workers, then
+ *    supervises. Liveness is the segment itself — a worker that
+ *    appends is alive; one whose segment has not grown for
+ *    `pointTimeoutS` is presumed hung and SIGKILLed. A nonzero exit or
+ *    timeout identifies the culprit point (the dangling `point_start`),
+ *    and the shard is respawned with exponential backoff until the
+ *    culprit has burned `maxRetries` retries, at which point the
+ *    supervisor quarantines it — a structured `point_failed` record
+ *    with the reason and attempt count — and the respawned worker
+ *    skips it. SIGTERM/SIGINT (via stopFlag) terminates shards
+ *    gracefully, merges what completed, appends a `run_interrupted`
+ *    record, and exits after the atexit exporters flush.
+ *
+ * When every shard settles, the segments are folded through
+ * @ref capart::obs::mergeLedgerSegments — last-complete-wins by spec
+ * hash, tolerant of torn tails, duplicates, and missing segments —
+ * into the canonical ledger under the parent's run id, and results are
+ * assembled from the shard results files. Because workers store
+ * hexfloat-exact results and every point's seed is
+ * `mixSeed(base_seed, spec.hash())`, a sharded, crashed, killed, and
+ * resumed sweep prints stdout bit-identical to `--jobs=1`.
+ */
+
+#ifndef CAPART_EXEC_SHARD_SUPERVISOR_HH
+#define CAPART_EXEC_SHARD_SUPERVISOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/sweep_runner.hh"
+
+namespace capart::exec
+{
+
+/** Shard owning @p spec_hash when the sweep runs @p shards wide. */
+unsigned shardOf(std::uint64_t spec_hash, unsigned shards);
+
+/** `<dir>/<bench>-shard-<k>.seg.jsonl` — the shard's ledger segment. */
+std::string shardSegmentPath(const std::string &dir,
+                             const std::string &bench, unsigned shard);
+
+/** `<dir>/<bench>-shard-<k>.results` — the shard's results file. */
+std::string shardResultsPath(const std::string &dir,
+                             const std::string &bench, unsigned shard);
+
+/** `<dir>/<bench>-shard-<k>.log` — the shard's stdout+stderr capture. */
+std::string shardLogPath(const std::string &dir, const std::string &bench,
+                         unsigned shard);
+
+/** Worker entry: compute this process's shard of @p specs, then exit
+ *  (0 on success, 128+sig when stopped by a signal). Never returns. */
+[[noreturn]] void runShardWorker(const SweepRunnerOptions &opts,
+                                 const std::vector<ExperimentSpec> &specs);
+
+/** Supervisor entry: run @p specs across opts.shards child processes
+ *  and return results in spec order (quarantined points come back
+ *  default-valued with `failed` set). */
+std::vector<SweepResult>
+runShardedSweep(const SweepRunnerOptions &opts,
+                const std::vector<ExperimentSpec> &specs);
+
+} // namespace capart::exec
+
+#endif // CAPART_EXEC_SHARD_SUPERVISOR_HH

@@ -12,6 +12,7 @@
 #include "core/co_scheduler.hh"
 #include "core/static_policies.hh"
 #include "exec/result_cache.hh"
+#include "exec/shard_supervisor.hh"
 #include "exec/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "obs/run_ledger.hh"
@@ -256,7 +257,7 @@ decisionRecord(const SweepRunnerOptions &opts, const ExperimentSpec &spec,
  */
 std::string
 exportPointAttribution(const SweepRunnerOptions &opts,
-                       const ExperimentSpec &spec)
+                       const ExperimentSpec &spec, obs::RunLedger *ledger)
 {
     obs::AttributionBatch batch = obs::timeseries().drainScope();
     if (batch.samples.empty() && batch.journal.empty())
@@ -277,10 +278,10 @@ exportPointAttribution(const SweepRunnerOptions &opts,
             batch.attrFile.clear();
         }
     }
-    if (opts.ledger) {
+    if (ledger) {
         for (const obs::JournalEntry &e : batch.journal) {
             if (e.kind == "decision")
-                opts.ledger->append(decisionRecord(opts, spec, e));
+                ledger->append(decisionRecord(opts, spec, e));
         }
     }
     std::string path = batch.attrFile;
@@ -290,6 +291,34 @@ exportPointAttribution(const SweepRunnerOptions &opts,
 
 } // namespace
 
+SweepResult
+computePoint(const SweepRunnerOptions &opts, const ExperimentSpec &spec,
+             ResultCache *cache, obs::RunLedger *ledger)
+{
+    obs::TraceSpan point_span("sweep.point", "sweep",
+                              {{"spec_hash",
+                                static_cast<double>(spec.hash())}});
+    if (obs::enabled())
+        obs::metrics().counter("exec.points_computed").inc();
+    const auto start = std::chrono::steady_clock::now();
+    const SweepResult r = runSpec(spec, opts.baseSeed);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (cache)
+        cache->store(specCacheKey(spec, opts.baseSeed), r);
+    std::string attr_file;
+    if (!opts.attrDir.empty() && obs::enabled())
+        attr_file = exportPointAttribution(opts, spec, ledger);
+    if (ledger) {
+        obs::RunRecord rec = pointRecord(opts, spec, r, wall_ms);
+        rec.attrFile = attr_file;
+        ledger->append(rec);
+    }
+    return r;
+}
+
 SweepRunner::SweepRunner(SweepRunnerOptions opts) : opts_(std::move(opts))
 {
 }
@@ -297,6 +326,13 @@ SweepRunner::SweepRunner(SweepRunnerOptions opts) : opts_(std::move(opts))
 std::vector<SweepResult>
 SweepRunner::run(const std::vector<ExperimentSpec> &specs)
 {
+    // Process-isolated paths first: a worker never returns, a
+    // supervisor owns the whole sweep (see shard_supervisor.cc).
+    if (opts_.shardWorker >= 0 && opts_.shards > 0)
+        runShardWorker(opts_, specs); // [[noreturn]]
+    if (opts_.shards > 1 && !opts_.workerCmd.empty() && specs.size() > 1)
+        return runShardedSweep(opts_, specs);
+
     std::vector<SweepResult> results(specs.size());
 
     std::unique_ptr<ResultCache> cache;
@@ -333,27 +369,8 @@ SweepRunner::run(const std::vector<ExperimentSpec> &specs)
     }
 
     const auto compute = [&](std::size_t i) {
-        obs::TraceSpan point_span("sweep.point", "sweep",
-                                  {{"index", static_cast<double>(i)}});
-        if (obs::enabled())
-            obs::metrics().counter("exec.points_computed").inc();
-        const auto start = std::chrono::steady_clock::now();
-        const SweepResult r = runSpec(specs[i], opts_.baseSeed);
-        const double wall_ms =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-        if (cache)
-            cache->store(specCacheKey(specs[i], opts_.baseSeed), r);
-        std::string attr_file;
-        if (!opts_.attrDir.empty() && obs::enabled())
-            attr_file = exportPointAttribution(opts_, specs[i]);
-        if (opts_.ledger) {
-            obs::RunRecord rec = pointRecord(opts_, specs[i], r, wall_ms);
-            rec.attrFile = attr_file;
-            opts_.ledger->append(rec);
-        }
-        results[i] = r;
+        results[i] = computePoint(opts_, specs[i], cache.get(),
+                                  opts_.ledger);
         std::lock_guard<std::mutex> lock(progress_mutex);
         report();
     };

@@ -10,11 +10,21 @@
  * @ref ResultCache memoizes completed points (keyed by the same
  * derived seed), making interrupted sweeps resumable and repeat runs
  * nearly free.
+ *
+ * Beyond the in-process thread pool, the runner has a process-isolated
+ * mode (`shards > 1`, see src/exec/shard_supervisor.hh): points are
+ * partitioned by spec hash into shard child processes — re-executions
+ * of the same binary with `--shard-worker=k` — each appending to its
+ * own ledger segment and bit-exact results file, while the parent
+ * supervises with per-point timeouts, bounded retries, quarantine, and
+ * a deterministic merge. A crashing or hanging point then costs one
+ * shard attempt, never the sweep.
  */
 
 #ifndef CAPART_EXEC_SWEEP_RUNNER_HH
 #define CAPART_EXEC_SWEEP_RUNNER_HH
 
+#include <csignal>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -62,6 +72,11 @@ struct SweepResult
     /** True when this result came from the memoization cache (not
      *  serialized; diagnostic only). */
     bool fromCache = false;
+
+    /** True when the point was quarantined after failing every retry
+     *  in process-isolated mode: the value fields are defaults, and a
+     *  `point_failed` record documents why (not serialized). */
+    bool failed = false;
 };
 
 /**
@@ -75,6 +90,8 @@ SweepResult runSpec(const ExperimentSpec &spec, std::uint64_t base_seed);
 /** Memoization key of (@p base_seed, @p spec): the derived seed. */
 std::uint64_t specCacheKey(const ExperimentSpec &spec,
                            std::uint64_t base_seed);
+
+class ResultCache;
 
 /** Configuration of a @ref SweepRunner. */
 struct SweepRunnerOptions
@@ -119,7 +136,56 @@ struct SweepRunnerOptions
      * attribute. The directory must already exist.
      */
     std::string attrDir;
+
+    // ---- process-isolated shard mode --------------------------------
+
+    /**
+     * Shard child processes; <= 1 keeps the in-process thread pool.
+     * When > 1 the runner ignores `jobs` and `cachePath` (each shard
+     * owns a results file under `ledgerDir` instead) and `run()`
+     * supervises `shards` re-executions of `workerCmd`.
+     */
+    unsigned shards = 0;
+    /** >= 0 marks this process as shard worker k: run() computes only
+     *  points with `spec.hash() % shards == k` serially, records them
+     *  into this shard's segment + results file, and exits — it never
+     *  returns. */
+    int shardWorker = -1;
+    /** Directory holding shard ledger segments and results files. */
+    std::string ledgerDir;
+    /** Keep existing segments/results (resume an interrupted sweep)
+     *  instead of starting fresh. */
+    bool resumeShards = false;
+    /** Wall-clock seconds a shard may go without appending to its
+     *  segment before it is presumed hung and SIGKILLed; 0 disables. */
+    double pointTimeoutS = 300.0;
+    /** Retries a failing point gets before quarantine (initial attempt
+     *  not counted: maxRetries == 2 allows three tries). */
+    unsigned maxRetries = 2;
+    /**
+     * Parent mode: the argv to re-execute for workers — the current
+     * binary and flags. The supervisor appends `--shards=N`,
+     * `--shard-worker=k`, and `--ledger-dir=D` (later flags override
+     * earlier ones in parseArgs). Empty disables shard mode.
+     */
+    std::vector<std::string> workerCmd;
+    /** Signal flag polled for graceful shutdown (SIGTERM/SIGINT); the
+     *  supervisor terminates shards, merges what completed, marks the
+     *  run interrupted, and exits. nullptr disables. */
+    const volatile std::sig_atomic_t *stopFlag = nullptr;
 };
+
+/**
+ * Compute one point end to end and record everything about it: trace
+ * span, points-computed counter, optional cache store, attribution
+ * side-file export, and the `point` ledger record (to @p ledger, which
+ * overrides opts.ledger so shard workers can target their segment).
+ * The single execution path shared by the in-process runner and the
+ * shard worker loop — both therefore produce bit-identical records.
+ */
+SweepResult computePoint(const SweepRunnerOptions &opts,
+                         const ExperimentSpec &spec, ResultCache *cache,
+                         obs::RunLedger *ledger);
 
 /** Fans specs across a thread pool; results in submission order. */
 class SweepRunner
@@ -132,6 +198,11 @@ class SweepRunner
      * are returned without re-execution (marked fromCache); newly
      * computed points are appended to the cache as they complete, so
      * an interrupted sweep resumes where it stopped.
+     *
+     * With opts.shards > 1 the sweep instead runs process-isolated
+     * (see shard_supervisor.hh); with opts.shardWorker >= 0 this
+     * process IS a shard worker and run() never returns — it exits
+     * after computing its subset.
      */
     std::vector<SweepResult> run(const std::vector<ExperimentSpec> &specs);
 

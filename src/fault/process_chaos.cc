@@ -1,0 +1,91 @@
+#include "fault/process_chaos.hh"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+namespace capart::fault
+{
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::strtoull(v, nullptr, 10);
+}
+
+bool
+selected(std::uint64_t mod, std::uint64_t spec_hash, unsigned attempt,
+         unsigned attempts_gate)
+{
+    return mod != 0 && spec_hash % mod == 0 && attempt < attempts_gate;
+}
+
+} // namespace
+
+ProcessChaos
+ProcessChaos::fromEnv()
+{
+    ProcessChaos c;
+    c.crashMod_ = envU64("CAPART_CHAOS_CRASH_MOD", 0);
+    c.hangMod_ = envU64("CAPART_CHAOS_HANG_MOD", 0);
+    c.tornMod_ = envU64("CAPART_CHAOS_TORN_MOD", 0);
+    c.crashAttempts_ = static_cast<unsigned>(
+        envU64("CAPART_CHAOS_CRASH_ATTEMPTS", 1));
+    c.hangAttempts_ = static_cast<unsigned>(
+        envU64("CAPART_CHAOS_HANG_ATTEMPTS", 1));
+    c.tornAttempts_ = static_cast<unsigned>(
+        envU64("CAPART_CHAOS_TORN_ATTEMPTS", 1));
+    return c;
+}
+
+void
+ProcessChaos::atPointStart(std::uint64_t spec_hash, unsigned attempt) const
+{
+    if (selected(crashMod_, spec_hash, attempt, crashAttempts_)) {
+        std::fprintf(stderr,
+                     "capart-chaos: crashing at point %016llx attempt %u\n",
+                     static_cast<unsigned long long>(spec_hash), attempt);
+        _exit(kChaosCrashExit);
+    }
+    if (selected(hangMod_, spec_hash, attempt, hangAttempts_)) {
+        std::fprintf(stderr,
+                     "capart-chaos: hanging at point %016llx attempt %u\n",
+                     static_cast<unsigned long long>(spec_hash), attempt);
+        // Spin-sleep until the supervisor's point timeout SIGKILLs us.
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+bool
+ProcessChaos::tearAfterPoint(std::uint64_t spec_hash, unsigned attempt) const
+{
+    return selected(tornMod_, spec_hash, attempt, tornAttempts_);
+}
+
+void
+ProcessChaos::tearAndDie(const std::string &segment_path)
+{
+    {
+        std::ofstream out(segment_path, std::ios::app);
+        // Half a plausible record, no terminating newline: exactly the
+        // tail a crash between write() and the record boundary leaves.
+        out << R"({"v":1,"kind":"point","bench":"torn)";
+        out.flush();
+    }
+    std::fprintf(stderr, "capart-chaos: tore segment tail %s\n",
+                 segment_path.c_str());
+    _exit(kChaosCrashExit);
+}
+
+} // namespace capart::fault

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Environment-driven process-level chaos for shard workers.
+ *
+ * The in-process @ref FaultInjector perturbs telemetry and the remask
+ * path *inside* a run; this module injects the failures the shard
+ * supervisor (src/exec/shard_supervisor.hh) must survive at the
+ * process boundary: a worker that crashes outright, hangs forever, or
+ * tears its ledger segment mid-write. Injection is armed purely
+ * through environment variables so the chaos CI job and tests can
+ * target unmodified bench binaries:
+ *
+ *   CAPART_CHAOS_CRASH_MOD=M       crash (_exit 42) at the start of any
+ *                                  point whose spec hash % M == 0
+ *   CAPART_CHAOS_CRASH_ATTEMPTS=A  ... but only while the point's
+ *                                  attempt number is < A (default 1:
+ *                                  first try crashes, the retry
+ *                                  succeeds; a huge A forces the point
+ *                                  to fail every retry and be
+ *                                  quarantined)
+ *   CAPART_CHAOS_HANG_MOD=M        hang forever at the start of any
+ *                                  point whose spec hash % M == 0
+ *   CAPART_CHAOS_HANG_ATTEMPTS=A   attempt gate for hangs (default 1)
+ *   CAPART_CHAOS_TORN_MOD=M        after completing any point whose
+ *                                  spec hash % M == 0, append half a
+ *                                  garbage record to the segment (no
+ *                                  newline) and _exit 42 — the torn
+ *                                  tail a crash mid-write leaves
+ *   CAPART_CHAOS_TORN_ATTEMPTS=A   attempt gate for torn writes
+ *                                  (default 1)
+ *
+ * Every decision is a pure function of (spec hash, attempt, env), so
+ * the same environment injects the same faults no matter how points
+ * are sharded — which is what lets the chaos tests assert bit-identical
+ * final results. Unset environment means every hook is a no-op.
+ */
+
+#ifndef CAPART_FAULT_PROCESS_CHAOS_HH
+#define CAPART_FAULT_PROCESS_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace capart::fault
+{
+
+/** Exit code of a chaos-injected crash (distinguishable from real
+ *  failures in shard logs; the supervisor treats any nonzero exit the
+ *  same way). */
+constexpr int kChaosCrashExit = 42;
+
+/** Parsed CAPART_CHAOS_* environment; see file comment. */
+class ProcessChaos
+{
+  public:
+    /** Read the environment once; unset variables disable each hook. */
+    static ProcessChaos fromEnv();
+
+    /** Any hook armed at all (cheap guard for hot paths). */
+    bool armed() const
+    {
+        return crashMod_ != 0 || hangMod_ != 0 || tornMod_ != 0;
+    }
+
+    /**
+     * Called by the shard worker after the point's `point_start`
+     * record is durable (so the supervisor can identify the culprit).
+     * May _exit(kChaosCrashExit) or hang forever; returns normally
+     * when the point is not selected.
+     */
+    void atPointStart(std::uint64_t spec_hash, unsigned attempt) const;
+
+    /** True when the worker should tear the segment tail after this
+     *  completed point and die (caller performs the tear). */
+    bool tearAfterPoint(std::uint64_t spec_hash, unsigned attempt) const;
+
+    /** Append a partial garbage line (no newline) to @p segment_path
+     *  and _exit(kChaosCrashExit). */
+    [[noreturn]] static void tearAndDie(const std::string &segment_path);
+
+  private:
+    std::uint64_t crashMod_ = 0;
+    std::uint64_t hangMod_ = 0;
+    std::uint64_t tornMod_ = 0;
+    unsigned crashAttempts_ = 1;
+    unsigned hangAttempts_ = 1;
+    unsigned tornAttempts_ = 1;
+};
+
+} // namespace capart::fault
+
+#endif // CAPART_FAULT_PROCESS_CHAOS_HH

@@ -1,8 +1,11 @@
 #include "obs/run_ledger.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/json.hh"
 
@@ -159,7 +162,8 @@ RunLedger::decode(const std::string &line, RunRecord *out)
     readPairs(doc->at("metrics"), &rec.metrics);
     readPairs(doc->at("counters"), &rec.counters);
     if (rec.kind != "point" && rec.kind != "bench" &&
-        rec.kind != "decision")
+        rec.kind != "decision" && rec.kind != "point_start" &&
+        rec.kind != "point_failed" && rec.kind != "run_interrupted")
         return false;
     *out = std::move(rec);
     return true;
@@ -183,6 +187,163 @@ RunLedger::load(const std::string &path)
             ++result.skipped;
     }
     return result;
+}
+
+namespace
+{
+
+/** Sort rank of a record kind inside the merged output. */
+int
+kindRank(const std::string &kind)
+{
+    if (kind == "point")
+        return 0;
+    if (kind == "point_failed")
+        return 1;
+    if (kind == "decision")
+        return 2;
+    if (kind == "bench")
+        return 3;
+    return 4; // run_interrupted and anything future
+}
+
+/** "a supersedes b" for two same-spec point records: later timestamp
+ *  wins, ties broken by wall time then by encoding, so the winner is a
+ *  pure function of record content. */
+bool
+supersedes(const RunRecord &a, const RunRecord &b)
+{
+    if (a.tsMs != b.tsMs)
+        return a.tsMs > b.tsMs;
+    if (a.wallMs != b.wallMs)
+        return a.wallMs > b.wallMs;
+    return RunLedger::encode(a) > RunLedger::encode(b);
+}
+
+/** Content key of a decision record with the timestamp zeroed:
+ *  re-journaled duplicates from retried (deterministic) points differ
+ *  only in ts_ms and must collapse to one. */
+std::string
+decisionKey(const RunRecord &rec)
+{
+    RunRecord copy = rec;
+    copy.tsMs = 0.0;
+    copy.wallMs = 0.0;
+    copy.run.clear(); // a resumed run re-journals under a new run id
+    return RunLedger::encode(copy);
+}
+
+} // namespace
+
+MergeResult
+mergeLedgerSegments(const std::vector<std::string> &segment_paths,
+                    const MergeOptions &opts)
+{
+    MergeResult out;
+
+    std::unordered_map<std::uint64_t, RunRecord> points;
+    std::unordered_map<std::uint64_t, RunRecord> failed;
+    std::unordered_map<std::string, RunRecord> decisions;
+    std::vector<RunRecord> other;
+
+    std::unordered_set<std::uint64_t> keep;
+    keep.insert(opts.specFilter.begin(), opts.specFilter.end());
+
+    for (const std::string &path : segment_paths) {
+        std::ifstream probe(path);
+        if (!probe) {
+            ++out.missingSegments;
+            continue;
+        }
+        probe.close();
+        RunLedger::LoadResult seg = RunLedger::load(path);
+        out.tornLines += seg.skipped;
+        for (RunRecord &rec : seg.records) {
+            const bool spec_bound = rec.kind == "point" ||
+                                    rec.kind == "point_start" ||
+                                    rec.kind == "point_failed" ||
+                                    rec.kind == "decision";
+            if (spec_bound) {
+                if (opts.filterSeed && rec.seed != opts.expectedSeed) {
+                    ++out.duplicatesDropped;
+                    continue;
+                }
+                if (!keep.empty() && keep.count(rec.specHash) == 0) {
+                    ++out.duplicatesDropped;
+                    continue;
+                }
+            }
+            if (rec.kind == "point_start") {
+                continue; // worker-internal liveness bookkeeping
+            } else if (rec.kind == "point") {
+                auto [it, inserted] =
+                    points.emplace(rec.specHash, rec);
+                if (!inserted) {
+                    ++out.duplicatesDropped;
+                    if (supersedes(rec, it->second))
+                        it->second = std::move(rec);
+                }
+            } else if (rec.kind == "point_failed") {
+                auto [it, inserted] =
+                    failed.emplace(rec.specHash, rec);
+                if (!inserted) {
+                    ++out.duplicatesDropped;
+                    if (rec.metric("attempts") >
+                            it->second.metric("attempts") ||
+                        (rec.metric("attempts") ==
+                             it->second.metric("attempts") &&
+                         supersedes(rec, it->second)))
+                        it->second = std::move(rec);
+                }
+            } else if (rec.kind == "decision") {
+                auto [it, inserted] =
+                    decisions.emplace(decisionKey(rec), rec);
+                if (!inserted) {
+                    ++out.duplicatesDropped;
+                    if (supersedes(rec, it->second))
+                        it->second = std::move(rec);
+                }
+            } else {
+                other.push_back(std::move(rec));
+            }
+        }
+    }
+
+    for (auto &[hash, rec] : points)
+        out.records.push_back(std::move(rec));
+    for (auto &[hash, rec] : failed) {
+        if (points.count(hash) != 0)
+            continue; // a retry eventually completed the point
+        ++out.quarantined;
+        out.records.push_back(std::move(rec));
+    }
+    for (auto &[key, rec] : decisions) {
+        // A decision only makes sense for a point that exists in the
+        // merged output (a crashed attempt's partial journal would
+        // otherwise leak records for a quarantined point).
+        if (points.count(rec.specHash) != 0)
+            out.records.push_back(std::move(rec));
+        else
+            ++out.duplicatesDropped;
+    }
+    for (RunRecord &rec : other)
+        out.records.push_back(std::move(rec));
+
+    std::sort(out.records.begin(), out.records.end(),
+              [](const RunRecord &a, const RunRecord &b) {
+                  const int ra = kindRank(a.kind);
+                  const int rb = kindRank(b.kind);
+                  if (ra != rb)
+                      return ra < rb;
+                  if (a.specHash != b.specHash)
+                      return a.specHash < b.specHash;
+                  const double ta = a.metric("t_us");
+                  const double tb = b.metric("t_us");
+                  if (ta != tb)
+                      return ta < tb;
+                  return RunLedger::encode(a) < RunLedger::encode(b);
+              });
+    return out;
 }
 
 } // namespace capart::obs

@@ -3,7 +3,7 @@
  * Append-only JSONL run ledger: the durable record every experiment
  * run leaves behind.
  *
- * One ledger is one file of newline-delimited JSON records. Three
+ * One ledger is one file of newline-delimited JSON records. Six
  * kinds of record exist:
  *
  *  - `point`  — one @ref capart::exec::SweepRunner sweep point: the
@@ -17,7 +17,17 @@
  *  - `decision` — one dynamic-partitioner control decision taken while
  *    computing a point: the complete decision inputs and outputs as
  *    the metric map, the fired rule in `rule`, so the decision can be
- *    replayed deterministically from the record alone.
+ *    replayed deterministically from the record alone;
+ *  - `point_start` — a shard worker is about to compute a point
+ *    (attempt number in the metric map). Dangling starts — a start
+ *    with no later `point` for the same spec hash — are how the shard
+ *    supervisor identifies the point a crashed or hung worker died on.
+ *    Worker-internal bookkeeping: mergeLedgerSegments() drops them;
+ *  - `point_failed` — the supervisor quarantined a point that failed
+ *    every retry; `rule` carries the reason ("crash", "timeout",
+ *    "shard_failed"), the metric map the attempt count;
+ *  - `run_interrupted` — the run was stopped by SIGTERM/SIGINT after
+ *    flushing everything completed so far; `rule` names the signal.
  *
  * Records carry a `run` id (bench + seed + start timestamp) so a single
  * growing ledger holds the full trajectory of repeated runs; the report
@@ -49,8 +59,10 @@ namespace capart::obs
 /** One ledger line; plain data, serializable both ways. */
 struct RunRecord
 {
-    /** "point" (sweep point), "bench" (binary invocation), or
-     *  "decision" (one partitioner control decision). */
+    /** "point" (sweep point), "bench" (binary invocation), "decision"
+     *  (one partitioner control decision), "point_start" (shard worker
+     *  liveness), "point_failed" (quarantined point), or
+     *  "run_interrupted" (signal-terminated run). */
     std::string kind = "point";
     /** Bench the record belongs to (e.g. "fig13_dynamic"). */
     std::string bench;
@@ -128,6 +140,59 @@ class RunLedger
     bool ok_ = false;
     std::uint64_t appended_ = 0;
 };
+
+// ------------------------------------------------- segment merging --
+
+/** Knobs of @ref mergeLedgerSegments. */
+struct MergeOptions
+{
+    /** When true, drop spec-carrying records whose seed differs from
+     *  expectedSeed (stale segments from an earlier run with another
+     *  seed must not poison a resumed sweep). */
+    bool filterSeed = false;
+    std::uint64_t expectedSeed = 0;
+    /** When non-empty, keep only spec-carrying records whose hash is
+     *  in this set (the sweep the supervisor actually scheduled). */
+    std::vector<std::uint64_t> specFilter;
+};
+
+/** Outcome of folding shard segments into one canonical record set. */
+struct MergeResult
+{
+    /** The merged records, in a deterministic order that depends only
+     *  on record content — never on segment order or file position. */
+    std::vector<RunRecord> records;
+    /** Segment paths that did not exist (killed before first write). */
+    std::uint64_t missingSegments = 0;
+    /** Unparsable lines skipped across all segments (torn tails). */
+    std::uint64_t tornLines = 0;
+    /** Superseded duplicates dropped (retried points, re-journaled
+     *  decisions): last-complete-wins keyed by spec hash. */
+    std::uint64_t duplicatesDropped = 0;
+    /** `point_failed` records surviving in the output (no complete
+     *  point ever landed for that spec). */
+    std::uint64_t quarantined = 0;
+};
+
+/**
+ * Fold shard ledger segments into the canonical record set.
+ *
+ * Tolerates torn tails (skipped, counted), empty and missing segments,
+ * duplicate records from retried points, and records interleaved from
+ * several run ids (a sweep interrupted and resumed under a new id).
+ * Per spec hash, the last complete `point` record wins — "last" judged
+ * by (ts_ms, wall_ms, encoding), so the choice is deterministic and
+ * independent of the order segments are listed or records appear.
+ * `point_start` records are dropped (worker-internal), `point_failed`
+ * survives only while no complete point exists for its spec, and
+ * duplicate `decision` records (identical but for timestamp, as
+ * re-runs of a deterministic point re-journal identical decisions)
+ * collapse to one. The output is sorted by (kind rank, spec hash,
+ * simulated time, encoding): permuting @p segment_paths cannot change
+ * a single output byte.
+ */
+MergeResult mergeLedgerSegments(const std::vector<std::string> &segment_paths,
+                                const MergeOptions &opts = MergeOptions{});
 
 } // namespace capart::obs
 

@@ -77,8 +77,14 @@ groupRuns(const std::vector<obs::RunRecord> &records)
             g->benchRecords.push_back(rec);
         else if (rec.kind == "decision")
             g->decisions.push_back(rec);
-        else
+        else if (rec.kind == "point_failed")
+            g->failures.push_back(rec);
+        else if (rec.kind == "run_interrupted")
+            g->interruptions.push_back(rec);
+        else if (rec.kind == "point")
             g->points.push_back(rec);
+        // Anything else (point_start, future kinds) is dropped: only
+        // complete points may enter metric pairing.
     }
     std::sort(groups.begin(), groups.end(),
               [](const RunGroup &a, const RunGroup &b) {
@@ -160,6 +166,9 @@ writeBenchJson(std::ostream &os, const std::vector<RunGroup> &groups)
         entry.set("points", Json(static_cast<double>(g.points.size())));
         entry.set("cached_points",
                   Json(static_cast<double>(g.cachedPoints())));
+        entry.set("quarantined_points",
+                  Json(static_cast<double>(g.failures.size())));
+        entry.set("interrupted", Json(!g.interruptions.empty()));
         entry.set("wall_ms", Json(g.totalWallMs()));
         Json metrics = Json::object();
         for (const std::string &name : metricNames(g)) {
@@ -290,12 +299,35 @@ writeMarkdown(std::ostream &os, const std::vector<RunGroup> &groups,
         os << "_No runs in the ledger._\n";
         return;
     }
-    os << "| run | bench | points | cached | wall (s) |\n";
-    os << "|---|---|---:|---:|---:|\n";
+    os << "| run | bench | points | cached | failed | wall (s) | |\n";
+    os << "|---|---|---:|---:|---:|---:|---|\n";
     for (const RunGroup &g : groups) {
         os << "| " << g.run << " | " << g.bench << " | "
            << g.points.size() << " | " << g.cachedPoints() << " | "
-           << formatDouble(g.totalWallMs() / 1000.0, "%.2f") << " |\n";
+           << g.failures.size() << " | "
+           << formatDouble(g.totalWallMs() / 1000.0, "%.2f") << " | "
+           << (g.interruptions.empty() ? "" : "interrupted") << " |\n";
+    }
+
+    // A quarantined point is a hole in the sweep: say which points and
+    // why, or a regression can hide inside the gap.
+    bool have_failures = false;
+    for (const RunGroup &g : groups) {
+        for (const obs::RunRecord &rec : g.failures) {
+            if (!have_failures) {
+                have_failures = true;
+                os << "\n### Quarantined points\n\n";
+                os << "| run | spec | reason | attempts |\n";
+                os << "|---|---|---|---:|\n";
+            }
+            char hash[24];
+            std::snprintf(hash, sizeof(hash), "%016" PRIx64,
+                          rec.specHash);
+            os << "| " << g.run << " | `0x" << hash << "` | "
+               << rec.rule << " | "
+               << static_cast<unsigned>(rec.metric("attempts"))
+               << " |\n";
+        }
     }
 
     if (!cmp)

@@ -50,6 +50,13 @@ struct RunGroup
     /** Partitioner `decision` records, in ledger order. They never
      *  enter metric pairing — a decision is not a sweep point. */
     std::vector<obs::RunRecord> decisions;
+    /** `point_failed` records: points the shard supervisor quarantined
+     *  after exhausting retries. Surfaced in reports (a silent hole in
+     *  a sweep is how regressions hide), never paired as points. */
+    std::vector<obs::RunRecord> failures;
+    /** `run_interrupted` records: the run was stopped by a signal
+     *  after flushing what completed. Flags the run as partial. */
+    std::vector<obs::RunRecord> interruptions;
 
     /** Points replayed from the memoization cache. */
     std::size_t cachedPoints() const;

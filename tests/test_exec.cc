@@ -13,7 +13,10 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
@@ -231,6 +234,109 @@ TEST(ResultCache, PersistsAcrossInstances)
         EXPECT_TRUE(sameResult(r, out));
         EXPECT_FALSE(cache.lookup(0x1234ULL, &out));
     }
+    std::remove(path.c_str());
+}
+
+// Write a fresh cache file at path holding one entry: key -> time t.
+void
+cacheFileWith(const std::string &path, std::uint64_t key, double t)
+{
+    std::remove(path.c_str());
+    SweepResult r;
+    r.time = t;
+    ResultCache cache(path);
+    cache.store(key, r);
+}
+
+TEST(ResultCache, ChecksumLineRoundTrips)
+{
+    const std::string body = "00000000deadbeef " +
+                             ResultCache::encode(SweepResult{});
+    const std::string line = ResultCache::checksumLine(body);
+    std::string back;
+    ASSERT_TRUE(ResultCache::verifyLine(line, &back));
+    EXPECT_EQ(back, body);
+    // Any single-byte change must fail verification.
+    std::string flipped = line;
+    flipped[4] = flipped[4] == 'x' ? 'y' : 'x';
+    EXPECT_FALSE(ResultCache::verifyLine(flipped, &back));
+    EXPECT_FALSE(
+        ResultCache::verifyLine(line.substr(0, line.size() - 1), &back));
+    EXPECT_FALSE(ResultCache::verifyLine(body, &back)); // no checksum
+}
+
+TEST(ResultCache, CorruptLinesAreSkippedIntactLinesSurvive)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "capart_cache_corrupt")
+            .string();
+    cacheFileWith(path, 0x1, 1.5);
+    {
+        // Second valid entry, then mangle the FIRST entry's payload (a
+        // bit flip mid-file, not just a torn tail) and append a torn
+        // half-line after it.
+        SweepResult r2;
+        r2.time = 2.5;
+        ResultCache cache(path);
+        cache.store(0x2, r2);
+    }
+    {
+        std::ifstream in(path);
+        std::string all((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+        const std::size_t pos = all.find("0000000000000001 ");
+        ASSERT_NE(pos, std::string::npos);
+        all[pos + 20] ^= 0x1; // flip one payload bit of entry 0x1
+        std::ofstream out(path, std::ios::trunc);
+        out << all << "0000000000000003 0x1p+0"; // torn tail, no '\n'
+    }
+    ResultCache cache(path);
+    EXPECT_EQ(cache.size(), 1u);
+    SweepResult out;
+    EXPECT_FALSE(cache.lookup(0x1, &out)); // corrupt -> recompute
+    ASSERT_TRUE(cache.lookup(0x2, &out));  // intact entry still hits
+    EXPECT_EQ(out.time, 2.5);
+    EXPECT_FALSE(cache.lookup(0x3, &out)); // torn tail never loads
+    std::remove(path.c_str());
+}
+
+TEST(ResultCache, RejectsNonFiniteEntries)
+{
+    SweepResult r;
+    r.mpki = std::numeric_limits<double>::quiet_NaN();
+    SweepResult out;
+    EXPECT_FALSE(ResultCache::decode(ResultCache::encode(r), &out));
+    r.mpki = 0.0;
+    r.policy[1].weightedSpeedup =
+        std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(ResultCache::decode(ResultCache::encode(r), &out));
+}
+
+TEST(ResultCache, IncompatibleHeaderIgnoredWholesaleThenRewritten)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "capart_cache_v1")
+            .string();
+    {
+        // A pre-checksum v1 file: must be ignored (recompute beats
+        // trusting unverifiable lines), not partially parsed.
+        std::ofstream out(path, std::ios::trunc);
+        out << "# capart-sweep-cache v1\n"
+            << "0000000000000001 0x1p+0 0x0p+0 0x0p+0 0x0p+0\n";
+    }
+    {
+        ResultCache cache(path);
+        EXPECT_EQ(cache.size(), 0u);
+        SweepResult r;
+        r.time = 9.0;
+        cache.store(0x2, r); // first store rewrites as v2
+    }
+    ResultCache cache(path);
+    EXPECT_EQ(cache.size(), 1u);
+    SweepResult out;
+    ASSERT_TRUE(cache.lookup(0x2, &out));
+    EXPECT_EQ(out.time, 9.0);
+    EXPECT_FALSE(cache.lookup(0x1, &out));
     std::remove(path.c_str());
 }
 

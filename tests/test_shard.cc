@@ -1,0 +1,524 @@
+/**
+ * @file
+ * Tests for process-isolated shard execution (exec/shard_supervisor.hh)
+ * and the crash-safe ledger-segment merge (obs/run_ledger.hh).
+ *
+ * The merge tests exercise every edge the supervisor must survive —
+ * duplicate spec-hash records from retried points, torn tails, empty
+ * and missing segments, records interleaved from several run ids —
+ * and pin that the merged output is deterministic and independent of
+ * segment order.
+ *
+ * The end-to-end tests spawn real worker processes: this binary links
+ * its own main(), so when the supervisor re-executes it with
+ * `--shard-worker=k` it becomes a worker computing the fixed test
+ * sweep instead of running gtest. Chaos (crash-on-point, quarantine,
+ * resume fast-forward) is injected through the CAPART_CHAOS_*
+ * environment exactly as the chaos CI job does with bench binaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/experiment_spec.hh"
+#include "exec/shard_supervisor.hh"
+#include "exec/sweep_runner.hh"
+#include "obs/run_ledger.hh"
+
+namespace capart::exec
+{
+// Named (not anonymous) namespace members: main() below needs to reach
+// testSpecs()/kShardSeed when this binary runs as a shard worker.
+
+constexpr double kShardScale = 0.02;
+constexpr std::uint64_t kShardSeed = 7777;
+constexpr const char *kShardBench = "shardtest";
+
+/** The fixed sweep both supervisor and re-executed workers rebuild. */
+std::vector<ExperimentSpec>
+testSpecs()
+{
+    std::vector<ExperimentSpec> specs;
+    for (const char *app :
+         {"ferret", "dedup", "canneal", "fop", "batik", "429.mcf"})
+        specs.push_back(soloSpec(app, 4, 12, kShardScale));
+    return specs;
+}
+
+namespace
+{
+
+std::string
+selfExe()
+{
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    buf[n > 0 ? n : 0] = '\0';
+    return buf;
+}
+
+std::string
+freshDir(const char *name)
+{
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / name).string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** Set CAPART_CHAOS_* / backoff variables for one test body. */
+class EnvGuard
+{
+  public:
+    EnvGuard(
+        std::initializer_list<std::pair<const char *, const char *>> kv)
+    {
+        for (const auto &[k, v] : kv) {
+            keys_.emplace_back(k);
+            setenv(k, v, 1);
+        }
+    }
+    ~EnvGuard()
+    {
+        for (const std::string &k : keys_)
+            unsetenv(k.c_str());
+    }
+
+  private:
+    std::vector<std::string> keys_;
+};
+
+SweepRunnerOptions
+supervisorOptions(const std::string &dir)
+{
+    SweepRunnerOptions o;
+    o.baseSeed = kShardSeed;
+    o.benchName = kShardBench;
+    o.runId = "shardtest-run";
+    o.shards = 3;
+    o.ledgerDir = dir;
+    o.workerCmd = {selfExe()};
+    o.pointTimeoutS = 120.0;
+    o.maxRetries = 2;
+    return o;
+}
+
+bool
+sameResult(const SweepResult &a, const SweepResult &b)
+{
+    if (a.time != b.time || a.socketEnergy != b.socketEnergy ||
+        a.wallEnergy != b.wallEnergy || a.mpki != b.mpki ||
+        a.apki != b.apki || a.ipc != b.ipc ||
+        a.bgThroughput != b.bgThroughput || a.timedOut != b.timedOut)
+        return false;
+    for (int p = 0; p < 4; ++p) {
+        const PolicyOutcome &x = a.policy[p];
+        const PolicyOutcome &y = b.policy[p];
+        if (x.present != y.present || x.fgSlowdown != y.fgSlowdown ||
+            x.bgThroughput != y.bgThroughput ||
+            x.energyVsSequential != y.energyVsSequential ||
+            x.wallEnergyVsSequential != y.wallEnergyVsSequential ||
+            x.weightedSpeedup != y.weightedSpeedup ||
+            x.fgWays != y.fgWays)
+            return false;
+    }
+    return true;
+}
+
+const std::vector<SweepResult> &
+expectedResults()
+{
+    static const std::vector<SweepResult> expected = [] {
+        SweepRunnerOptions serial;
+        serial.baseSeed = kShardSeed;
+        return SweepRunner(serial).run(testSpecs());
+    }();
+    return expected;
+}
+
+// ------------------------------------------------- merge edge cases --
+
+obs::RunRecord
+pointRec(std::uint64_t hash, const std::string &run, double ts_ms,
+         double time_s)
+{
+    obs::RunRecord r;
+    r.kind = "point";
+    r.bench = kShardBench;
+    r.run = run;
+    r.spec = "spec-" + std::to_string(hash);
+    r.specHash = hash;
+    r.seed = kShardSeed;
+    r.tsMs = ts_ms;
+    r.wallMs = 1.0;
+    r.simS = time_s;
+    r.metrics.emplace_back("time_s", time_s);
+    return r;
+}
+
+obs::RunRecord
+startRec(std::uint64_t hash, const std::string &run, double ts_ms,
+         unsigned attempt)
+{
+    obs::RunRecord r = pointRec(hash, run, ts_ms, 0.0);
+    r.kind = "point_start";
+    r.metrics = {{"attempt", static_cast<double>(attempt)}};
+    return r;
+}
+
+obs::RunRecord
+failedRec(std::uint64_t hash, const std::string &run, double ts_ms,
+          unsigned attempts)
+{
+    obs::RunRecord r = pointRec(hash, run, ts_ms, 0.0);
+    r.kind = "point_failed";
+    r.rule = "crash";
+    r.metrics = {{"attempts", static_cast<double>(attempts)}};
+    return r;
+}
+
+obs::RunRecord
+decisionRec(std::uint64_t hash, const std::string &run, double ts_ms,
+            double t_us)
+{
+    obs::RunRecord r = pointRec(hash, run, ts_ms, 0.0);
+    r.kind = "decision";
+    r.rule = "grow_fg";
+    r.metrics = {{"t_us", t_us}, {"fg_ways", 8.0}};
+    return r;
+}
+
+void
+writeSegment(const std::string &path,
+             const std::vector<obs::RunRecord> &records)
+{
+    obs::RunLedger seg(path);
+    for (const obs::RunRecord &r : records)
+        seg.append(r);
+}
+
+std::string
+encodeAll(const std::vector<obs::RunRecord> &records)
+{
+    std::string s;
+    for (const obs::RunRecord &r : records) {
+        s += obs::RunLedger::encode(r);
+        s += '\n';
+    }
+    return s;
+}
+
+TEST(MergeLedger, LastCompleteWinsAcrossDuplicateSpecHashes)
+{
+    const std::string dir = freshDir("capart_merge_dup");
+    // The same point completed twice (a retry after a torn write):
+    // the later record must win, in whichever segment it sits.
+    writeSegment(dir + "/a.jsonl", {pointRec(0x10, "run-a", 100, 1.0)});
+    writeSegment(dir + "/b.jsonl", {pointRec(0x10, "run-b", 200, 2.0)});
+
+    const obs::MergeResult m = obs::mergeLedgerSegments(
+        {dir + "/a.jsonl", dir + "/b.jsonl"});
+    ASSERT_EQ(m.records.size(), 1u);
+    EXPECT_EQ(m.records[0].metric("time_s"), 2.0);
+    EXPECT_EQ(m.duplicatesDropped, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(MergeLedger, OutputIndependentOfSegmentOrder)
+{
+    const std::string dir = freshDir("capart_merge_order");
+    // Duplicates, interleaved run ids, a quarantine, and decisions
+    // spread across three segments.
+    writeSegment(dir + "/a.jsonl",
+                 {startRec(0x1, "run-a", 10, 0),
+                  pointRec(0x1, "run-a", 11, 1.5),
+                  decisionRec(0x1, "run-a", 12, 100.0)});
+    writeSegment(dir + "/b.jsonl",
+                 {pointRec(0x1, "run-b", 20, 1.5),
+                  startRec(0x2, "run-b", 21, 0),
+                  failedRec(0x2, "run-b", 22, 3)});
+    writeSegment(dir + "/c.jsonl",
+                 {pointRec(0x3, "run-a", 5, 9.0),
+                  decisionRec(0x1, "run-b", 30, 100.0)});
+
+    const std::vector<std::string> fwd = {
+        dir + "/a.jsonl", dir + "/b.jsonl", dir + "/c.jsonl"};
+    const std::vector<std::string> rev = {
+        dir + "/c.jsonl", dir + "/b.jsonl", dir + "/a.jsonl"};
+    const obs::MergeResult m1 = obs::mergeLedgerSegments(fwd);
+    const obs::MergeResult m2 = obs::mergeLedgerSegments(rev);
+    EXPECT_EQ(encodeAll(m1.records), encodeAll(m2.records));
+    EXPECT_FALSE(m1.records.empty());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(MergeLedger, ToleratesTornEmptyAndMissingSegments)
+{
+    const std::string dir = freshDir("capart_merge_torn");
+    writeSegment(dir + "/a.jsonl", {pointRec(0x7, "run-a", 50, 4.0)});
+    {
+        // The tail a worker killed mid-write leaves: half a record,
+        // no newline.
+        std::ofstream torn(dir + "/a.jsonl", std::ios::app);
+        torn << "{\"v\":1,\"kind\":\"point\",\"bench\":\"torn";
+    }
+    { std::ofstream empty(dir + "/b.jsonl"); } // empty segment
+
+    const obs::MergeResult m = obs::mergeLedgerSegments(
+        {dir + "/a.jsonl", dir + "/b.jsonl", dir + "/missing.jsonl"});
+    ASSERT_EQ(m.records.size(), 1u);
+    EXPECT_EQ(m.records[0].specHash, 0x7u);
+    EXPECT_EQ(m.tornLines, 1u);
+    EXPECT_EQ(m.missingSegments, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(MergeLedger, QuarantineSurvivesOnlyWithoutCompletePoint)
+{
+    const std::string dir = freshDir("capart_merge_quar");
+    // 0x1: failed then eventually completed (a resume succeeded) —
+    // the completion supersedes the quarantine. 0x2: failed for good.
+    writeSegment(dir + "/a.jsonl",
+                 {startRec(0x1, "run-a", 1, 0),
+                  failedRec(0x1, "run-a", 2, 3),
+                  pointRec(0x1, "run-b", 90, 2.5),
+                  startRec(0x2, "run-a", 3, 0),
+                  failedRec(0x2, "run-a", 4, 3)});
+
+    const obs::MergeResult m =
+        obs::mergeLedgerSegments({dir + "/a.jsonl"});
+    EXPECT_EQ(m.quarantined, 1u);
+    bool saw_point1 = false, saw_failed2 = false;
+    for (const obs::RunRecord &r : m.records) {
+        if (r.specHash == 0x1)
+            saw_point1 = r.kind == "point";
+        if (r.specHash == 0x2)
+            saw_failed2 = r.kind == "point_failed";
+        EXPECT_NE(r.kind, "point_start"); // always worker-internal
+    }
+    EXPECT_TRUE(saw_point1);
+    EXPECT_TRUE(saw_failed2);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(MergeLedger, IdenticalDecisionsFromRetriesCollapse)
+{
+    const std::string dir = freshDir("capart_merge_dec");
+    // A retried deterministic point re-journals the same decisions,
+    // differing only in wall timestamps — one copy must survive. A
+    // decision whose point never completed must not leak through.
+    writeSegment(dir + "/a.jsonl",
+                 {pointRec(0x1, "run-a", 10, 1.0),
+                  decisionRec(0x1, "run-a", 11, 250.0),
+                  decisionRec(0x1, "run-b", 99, 250.0),
+                  decisionRec(0x2, "run-a", 12, 300.0)});
+
+    const obs::MergeResult m =
+        obs::mergeLedgerSegments({dir + "/a.jsonl"});
+    std::size_t decisions = 0;
+    for (const obs::RunRecord &r : m.records)
+        if (r.kind == "decision") {
+            ++decisions;
+            EXPECT_EQ(r.specHash, 0x1u);
+        }
+    EXPECT_EQ(decisions, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(MergeLedger, SeedAndSpecFiltersDropStaleRecords)
+{
+    const std::string dir = freshDir("capart_merge_filter");
+    obs::RunRecord stale = pointRec(0x1, "run-old", 5, 8.0);
+    stale.seed = kShardSeed + 1; // an earlier sweep, different seed
+    writeSegment(dir + "/a.jsonl",
+                 {stale, pointRec(0x1, "run-a", 10, 1.0),
+                  pointRec(0x999, "run-a", 11, 2.0)});
+
+    obs::MergeOptions opts;
+    opts.filterSeed = true;
+    opts.expectedSeed = kShardSeed;
+    opts.specFilter = {0x1};
+    const obs::MergeResult m =
+        obs::mergeLedgerSegments({dir + "/a.jsonl"}, opts);
+    ASSERT_EQ(m.records.size(), 1u);
+    EXPECT_EQ(m.records[0].specHash, 0x1u);
+    EXPECT_EQ(m.records[0].metric("time_s"), 1.0);
+    std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------- end to end --
+
+TEST(ShardSweep, MatchesInProcessRunBitExactly)
+{
+    const std::vector<ExperimentSpec> specs = testSpecs();
+    const std::vector<SweepResult> &expected = expectedResults();
+
+    const std::string dir = freshDir("capart_shard_clean");
+    const EnvGuard env({{"CAPART_SHARD_BACKOFF_MS", "20"}});
+    SweepRunnerOptions o = supervisorOptions(dir);
+    obs::RunLedger canonical(dir + "/canonical.jsonl");
+    o.ledger = &canonical;
+    const std::vector<SweepResult> got = SweepRunner(o).run(specs);
+
+    ASSERT_EQ(got.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_FALSE(got[i].failed) << i;
+        EXPECT_TRUE(sameResult(expected[i], got[i])) << i;
+    }
+
+    // The canonical ledger holds exactly one point per spec, all under
+    // the supervisor's run id.
+    const auto loaded = obs::RunLedger::load(dir + "/canonical.jsonl");
+    std::size_t points = 0;
+    for (const obs::RunRecord &r : loaded.records) {
+        if (r.kind == "point") {
+            ++points;
+            EXPECT_EQ(r.run, "shardtest-run");
+        }
+    }
+    EXPECT_EQ(points, specs.size());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardSweep, WorkerCrashesAreRetriedBitExactly)
+{
+    const std::vector<ExperimentSpec> specs = testSpecs();
+    const std::vector<SweepResult> &expected = expectedResults();
+
+    const std::string dir = freshDir("capart_shard_crash");
+    // Every point with an even spec hash crashes its worker once; the
+    // respawned worker fast-forwards and retries it successfully.
+    const EnvGuard env({{"CAPART_SHARD_BACKOFF_MS", "20"},
+                        {"CAPART_CHAOS_CRASH_MOD", "2"}});
+    const std::vector<SweepResult> got =
+        SweepRunner(supervisorOptions(dir)).run(specs);
+
+    ASSERT_EQ(got.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_FALSE(got[i].failed) << i;
+        EXPECT_TRUE(sameResult(expected[i], got[i])) << i;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardSweep, ExhaustedRetriesQuarantineButNeverAbort)
+{
+    const std::vector<ExperimentSpec> specs = testSpecs();
+    const std::vector<SweepResult> &expected = expectedResults();
+
+    const std::string dir = freshDir("capart_shard_quar");
+    // Even-hash points crash on EVERY attempt: after maxRetries they
+    // must be quarantined — and the sweep must still complete, with
+    // every other point bit-exact.
+    const EnvGuard env({{"CAPART_SHARD_BACKOFF_MS", "20"},
+                        {"CAPART_CHAOS_CRASH_MOD", "2"},
+                        {"CAPART_CHAOS_CRASH_ATTEMPTS", "99"}});
+    SweepRunnerOptions o = supervisorOptions(dir);
+    obs::RunLedger canonical(dir + "/canonical.jsonl");
+    o.ledger = &canonical;
+    const std::vector<SweepResult> got = SweepRunner(o).run(specs);
+
+    ASSERT_EQ(got.size(), specs.size());
+    std::size_t quarantined = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].hash() % 2 == 0) {
+            EXPECT_TRUE(got[i].failed) << i;
+            ++quarantined;
+        } else {
+            EXPECT_FALSE(got[i].failed) << i;
+            EXPECT_TRUE(sameResult(expected[i], got[i])) << i;
+        }
+    }
+    ASSERT_GT(quarantined, 0u) << "test sweep has no even hashes";
+
+    // Each quarantined point leaves a structured point_failed record
+    // with the reason and attempt count.
+    const auto loaded = obs::RunLedger::load(dir + "/canonical.jsonl");
+    std::size_t failures = 0;
+    for (const obs::RunRecord &r : loaded.records) {
+        if (r.kind != "point_failed")
+            continue;
+        ++failures;
+        EXPECT_EQ(r.rule, "crash");
+        EXPECT_GE(r.metric("attempts"), 3.0);
+    }
+    EXPECT_EQ(failures, quarantined);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardSweep, ResumeFastForwardsWithoutRecomputing)
+{
+    const std::vector<ExperimentSpec> specs = testSpecs();
+    const std::vector<SweepResult> &expected = expectedResults();
+
+    const std::string dir = freshDir("capart_shard_resume");
+    {
+        const EnvGuard env({{"CAPART_SHARD_BACKOFF_MS", "20"}});
+        SweepRunner(supervisorOptions(dir)).run(specs);
+    }
+    // Second run resumes over the completed segments with chaos armed
+    // to crash EVERY recomputed point on every attempt: bit-exact
+    // results prove nothing recomputed — the resume fast-forwarded
+    // through the segments and results files alone.
+    const EnvGuard env({{"CAPART_SHARD_BACKOFF_MS", "20"},
+                        {"CAPART_CHAOS_CRASH_MOD", "1"},
+                        {"CAPART_CHAOS_CRASH_ATTEMPTS", "99"}});
+    SweepRunnerOptions o = supervisorOptions(dir);
+    o.resumeShards = true;
+    const std::vector<SweepResult> got = SweepRunner(o).run(specs);
+
+    ASSERT_EQ(got.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_FALSE(got[i].failed) << i;
+        EXPECT_TRUE(sameResult(expected[i], got[i])) << i;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace capart::exec
+
+/**
+ * Custom main: when the shard supervisor under test re-executes this
+ * binary with `--shard-worker=k`, become that worker (compute the
+ * fixed test sweep's k-th shard and exit); otherwise run gtest.
+ */
+int
+main(int argc, char **argv)
+{
+    int worker = -1;
+    unsigned shards = 0;
+    std::string ledger_dir;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--shard-worker=", 0) == 0)
+            worker = std::atoi(a.c_str() + 15);
+        else if (a.rfind("--shards=", 0) == 0)
+            shards = static_cast<unsigned>(
+                std::strtoul(a.c_str() + 9, nullptr, 10));
+        else if (a.rfind("--ledger-dir=", 0) == 0)
+            ledger_dir = a.substr(13);
+    }
+    if (worker >= 0 && shards > 0) {
+        using namespace capart::exec;
+        SweepRunnerOptions o;
+        o.baseSeed = kShardSeed;
+        o.benchName = kShardBench;
+        o.runId = "shardtest-worker";
+        o.shards = shards;
+        o.shardWorker = worker;
+        o.ledgerDir = ledger_dir;
+        SweepRunner(o).run(testSpecs()); // exits; never returns
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
