@@ -13,6 +13,7 @@
 #include <thread>
 
 #ifndef _WIN32
+#include <pthread.h>
 #include <unistd.h>
 #endif
 
@@ -52,21 +53,20 @@ std::chrono::steady_clock::time_point gWallStart;
 /** Re-exec command of this invocation (shard supervisors spawn it). */
 std::vector<std::string> gWorkerCmd; // NOLINT(cert-err58-cpp)
 
-/** Signal received (0 = none); polled by shard supervisors/workers. */
+/** Signal received (0 = none); polled by shard supervisors/workers.
+ *  Written by the signal watcher thread, read by the sweep loops; a
+ *  plain aligned int store/load on every supported target. */
 volatile std::sig_atomic_t gStopSignal = 0;
-/** True when a shard supervisor or worker owns shutdown: the handler
+/** True when a shard supervisor or worker owns shutdown: the watcher
  *  only sets the flag and the sweep loop exits at a point boundary. */
 bool gCooperativeShutdown = false;
 
+#ifdef _WIN32
 /**
- * SIGTERM/SIGINT: flush everything, then die with the conventional
- * 128+signal code. In cooperative mode (shard supervisor or worker)
- * only the flag is set — the sweep loop notices at the next point
- * boundary, merges/flushes, and exits itself. Otherwise we exit here:
- * std::exit from a handler is formally unsafe, but an interrupted
- * bench that flushes its ledger/metrics/trace through the atexit
- * exporters beats one that silently loses the run — and a second
- * signal always aborts immediately.
+ * Windows fallback (no sigwait): the handler only does async-signal-
+ * safe work — set the flag, and on a second signal die immediately.
+ * Non-cooperative benches lose the atexit flush on interrupt here;
+ * the POSIX path below (the supported platform) does not.
  */
 extern "C" void
 onStopSignal(int sig)
@@ -74,15 +74,50 @@ onStopSignal(int sig)
     if (gStopSignal != 0)
         std::_Exit(128 + sig); // second signal: no more patience
     gStopSignal = sig;
-    if (!gCooperativeShutdown)
-        std::exit(128 + sig);
 }
+#endif
 
+/**
+ * Arm SIGTERM/SIGINT handling, once per process. POSIX: block both
+ * signals process-wide (worker threads created later inherit the
+ * mask) and consume them on a dedicated watcher thread via sigwait,
+ * so shutdown runs in normal thread context — no async-signal-safety
+ * constraints. In cooperative mode (shard supervisor or worker) the
+ * watcher only sets the flag and the sweep loop merges/flushes and
+ * exits at the next point boundary; otherwise the watcher calls
+ * std::exit itself, flushing ledger/metrics/trace through the atexit
+ * exporters (safe here: the obs sinks are already thread-safe). A
+ * second signal always aborts immediately.
+ */
 void
 installSignalHandlers()
 {
+    static bool installed = false;
+    if (installed)
+        return;
+    installed = true;
+#ifndef _WIN32
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    std::thread([set]() mutable {
+        for (;;) {
+            int sig = 0;
+            if (sigwait(&set, &sig) != 0)
+                continue;
+            if (gStopSignal != 0)
+                std::_Exit(128 + sig); // second signal
+            gStopSignal = sig;
+            if (!gCooperativeShutdown)
+                std::exit(128 + sig);
+        }
+    }).detach();
+#else
     std::signal(SIGINT, onStopSignal);
     std::signal(SIGTERM, onStopSignal);
+#endif
 }
 
 /** Path of the running binary (re-exec target for shard workers). */
@@ -370,7 +405,9 @@ parseArgs(int argc, char **argv, double default_scale,
                         "               (default <cache-dir>/shards)\n"
                         "  --point-timeout=S  kill a shard stuck on one "
                         "point for S s\n"
-                        "               (default 300, 0 disables)\n"
+                        "               (default 0 = off; enable only "
+                        "when S exceeds\n"
+                        "               the slowest legitimate point)\n"
                         "  --max-retries=N  retries before a failing "
                         "point is quarantined\n"
                         "               (default 2)\n",

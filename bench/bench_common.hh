@@ -63,8 +63,10 @@ struct BenchOptions
      *  (default `<cacheDir>/shards`). */
     std::string ledgerDir;
     /** Seconds a shard may go without completing a point before it is
-     *  presumed hung and killed (--point-timeout=S; 0 disables). */
-    double pointTimeoutS = 300.0;
+     *  presumed hung and killed (--point-timeout=S). 0 — the default —
+     *  disables: liveness ticks only at point boundaries, so hang
+     *  detection is opt-in for sweeps whose slowest point is bounded. */
+    double pointTimeoutS = 0.0;
     /** Retries a failing point gets before quarantine. */
     unsigned maxRetries = 2;
 };
@@ -98,8 +100,10 @@ struct BenchOptions
  * supervisor keeps existing segments and fast-forwards past finished
  * points, so a killed sweep continues where it stopped.
  *
- * parseArgs also installs SIGTERM/SIGINT handlers: an interrupted run
- * flushes its ledger, metrics, and trace through the normal atexit
+ * parseArgs also arms SIGTERM/SIGINT handling: the signals are blocked
+ * process-wide and consumed by a dedicated watcher thread (sigwait),
+ * so shutdown always runs in normal thread context — an interrupted
+ * run flushes its ledger, metrics, and trace through the normal atexit
  * exporters before exiting 128+signal (a second signal aborts
  * immediately). Shard supervisors and workers instead observe the
  * signal cooperatively at the next point boundary.

@@ -321,7 +321,11 @@ runShardedSweep(const SweepRunnerOptions &opts,
 
     const auto spawnShard = [&](ShardState &s) {
         std::vector<std::string> args = opts.workerCmd;
-        args.push_back("--shards=" + std::to_string(opts.shards));
+        // The clamped count, not opts.shards: workers partition by
+        // hash % shards, and both sides must use the same modulus or
+        // points with hash % opts.shards >= shards would never be
+        // assigned to any worker.
+        args.push_back("--shards=" + std::to_string(shards));
         args.push_back("--shard-worker=" + std::to_string(s.id));
         args.push_back("--ledger-dir=" + opts.ledgerDir);
         std::vector<char *> argv;
@@ -613,9 +617,13 @@ runShardedSweep(const SweepRunnerOptions &opts,
     countIf("exec.merge_duplicates_dropped", merged.duplicatesDropped);
 
     std::unordered_set<std::uint64_t> quarantined;
-    for (const obs::RunRecord &rec : merged.records)
+    std::unordered_set<std::uint64_t> mergedPoints;
+    for (const obs::RunRecord &rec : merged.records) {
         if (rec.kind == "point_failed")
             quarantined.insert(rec.specHash);
+        else if (rec.kind == "point")
+            mergedPoints.insert(rec.specHash);
+    }
 
     if (opts.ledger) {
         // Segments carry worker run ids (and, across a resume, several
@@ -671,9 +679,15 @@ runShardedSweep(const SweepRunnerOptions &opts,
         }
         // Segment said done but the results file lost the entry
         // (corrupt line): recompute inline — never return garbage.
+        // The merge already appended this spec's `point` record to the
+        // canonical ledger in the usual case; only ledger the recompute
+        // when the segment lost the record too, so no spec ever gets
+        // duplicate `point` records under one run id.
         ++recomputed;
-        results[i] =
-            computePoint(opts, specs[i], caches[k].get(), opts.ledger);
+        results[i] = computePoint(
+            opts, specs[i], caches[k].get(),
+            mergedPoints.count(sweepHashes[i]) != 0 ? nullptr
+                                                    : opts.ledger);
     }
     countIf("exec.shard_result_misses", recomputed);
     if (opts.progress)

@@ -157,8 +157,12 @@ struct SweepRunnerOptions
      *  instead of starting fresh. */
     bool resumeShards = false;
     /** Wall-clock seconds a shard may go without appending to its
-     *  segment before it is presumed hung and SIGKILLed; 0 disables. */
-    double pointTimeoutS = 300.0;
+     *  segment before it is presumed hung and SIGKILLed; 0 (the
+     *  default) disables. Liveness is observed only at point
+     *  boundaries, so enable this only with a bound on single-point
+     *  duration in hand — a timeout below the slowest legitimate
+     *  point kills and quarantines valid work as "timeout". */
+    double pointTimeoutS = 0.0;
     /** Retries a failing point gets before quarantine (initial attempt
      *  not counted: maxRetries == 2 allows three tries). */
     unsigned maxRetries = 2;

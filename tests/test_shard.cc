@@ -389,6 +389,31 @@ TEST(ShardSweep, MatchesInProcessRunBitExactly)
     std::filesystem::remove_all(dir);
 }
 
+TEST(ShardSweep, MoreShardsThanPointsClampsBothSides)
+{
+    const std::vector<ExperimentSpec> specs = testSpecs();
+    const std::vector<SweepResult> &expected = expectedResults();
+
+    const std::string dir = freshDir("capart_shard_clamp");
+    // More shards than points — the --shards=0 → hardware_concurrency
+    // case on a small sweep. The supervisor clamps to specs.size() and
+    // must hand workers the clamped count too: a worker partitioning
+    // by the unclamped modulus would strand every point whose
+    // hash % 64 lands outside the clamped range, and those points
+    // would be quarantined as shard_failed instead of computed.
+    const EnvGuard env({{"CAPART_SHARD_BACKOFF_MS", "20"}});
+    SweepRunnerOptions o = supervisorOptions(dir);
+    o.shards = 64;
+    const std::vector<SweepResult> got = SweepRunner(o).run(specs);
+
+    ASSERT_EQ(got.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_FALSE(got[i].failed) << i;
+        EXPECT_TRUE(sameResult(expected[i], got[i])) << i;
+    }
+    std::filesystem::remove_all(dir);
+}
+
 TEST(ShardSweep, WorkerCrashesAreRetriedBitExactly)
 {
     const std::vector<ExperimentSpec> specs = testSpecs();
