@@ -51,6 +51,8 @@ replName(ReplPolicy p)
         return "NRU";
       case ReplPolicy::Random:
         return "Random";
+      case ReplPolicy::TreePLRU:
+        return "TreePLRU";
     }
     return "?";
 }
@@ -82,7 +84,8 @@ main(int argc, char **argv)
                  "w7", "w8", "w9", "w10", "w11", "w12",
                  "knee-sharpness"});
         for (const ReplPolicy repl :
-             {ReplPolicy::LRU, ReplPolicy::BitPLRU, ReplPolicy::NRU,
+             {ReplPolicy::LRU, ReplPolicy::BitPLRU,
+              ReplPolicy::TreePLRU, ReplPolicy::NRU,
               ReplPolicy::Random}) {
             for (const IndexFn index :
                  {IndexFn::Modulo, IndexFn::Hashed}) {

@@ -241,6 +241,22 @@ ResultCache::ResultCache(std::string path) : path_(std::move(path))
     }
 }
 
+void
+ResultCache::initializeFile(const std::string &path)
+{
+    {
+        std::ifstream in(path);
+        std::string line;
+        if (in && std::getline(in, line) && line == kHeader)
+            return;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (out)
+        out << kHeader << '\n';
+    else
+        capart_warn("cannot initialize sweep cache " << path);
+}
+
 bool
 ResultCache::lookup(std::uint64_t key, SweepResult *out) const
 {

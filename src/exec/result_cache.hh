@@ -54,6 +54,17 @@ class ResultCache
     static std::string encode(const SweepResult &res);
     static bool decode(const std::string &body, SweepResult *out);
 
+    /**
+     * Create @p path as an empty compatible cache (header only) if it
+     * is missing or has a foreign/old header. Call before several
+     * processes share one cache file: a process that opens an
+     * incompatible file truncate-rewrites it on first store, which
+     * races siblings' appends; with the header pre-written everyone
+     * only ever appends checksummed lines, which is concurrency-safe.
+     * No-op on a compatible file.
+     */
+    static void initializeFile(const std::string &path);
+
     /** Append the v2 checksum suffix to "<hex key> <body>" (tests). */
     static std::string checksumLine(const std::string &keyed_body);
     /** Verify a full on-disk line's checksum; on success strips the

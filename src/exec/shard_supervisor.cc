@@ -201,6 +201,14 @@ runShardWorker(const SweepRunnerOptions &opts,
     obs::RunLedger segment(seg_path);
     ResultCache results(
         shardResultsPath(opts.ledgerDir, opts.benchName, k));
+    // The user-level memoization cache (--cache-dir) is shared by all
+    // shards: read-through before computing, write-back after. All
+    // workers append to one file concurrently, which ResultCache's
+    // per-line checksums make safe — a torn or interleaved line is
+    // skipped on load, never misread.
+    std::unique_ptr<ResultCache> user;
+    if (!opts.cachePath.empty())
+        user = std::make_unique<ResultCache>(opts.cachePath);
     const fault::ProcessChaos chaos = fault::ProcessChaos::fromEnv();
 
     SweepRunnerOptions wopts = opts;
@@ -219,6 +227,22 @@ runShardWorker(const SweepRunnerOptions &opts,
         if (prior.done.count(h) != 0 &&
             results.lookup(specCacheKey(spec, opts.baseSeed), &replay))
             continue; // finished by an earlier attempt: fast-forward
+
+        const std::uint64_t key = specCacheKey(spec, opts.baseSeed);
+        SweepResult cached;
+        if (user && user->lookup(key, &cached)) {
+            // Replay the user-cache hit as if computed: copy it into
+            // this shard's results file (the merge reads only shard
+            // files) and append the point record the merge expects.
+            // No point_start — a replay executes nothing, so it can
+            // neither hang nor burn a retry attempt. A crash between
+            // the store and the append just replays again next spawn.
+            countIf("exec.cache_hits");
+            results.store(key, cached);
+            cached.fromCache = true;
+            segment.append(pointRecord(wopts, spec, cached, 0.0));
+            continue;
+        }
 
         unsigned attempt = 0;
         const auto it = prior.starts.find(h);
@@ -242,7 +266,9 @@ runShardWorker(const SweepRunnerOptions &opts,
         segment.append(start);
 
         chaos.atPointStart(h, attempt);
-        computePoint(wopts, spec, &results, &segment);
+        const SweepResult r = computePoint(wopts, spec, &results, &segment);
+        if (user)
+            user->store(key, r);
         if (chaos.tearAfterPoint(h, attempt))
             fault::ProcessChaos::tearAndDie(seg_path);
     }
@@ -259,6 +285,13 @@ runShardedSweep(const SweepRunnerOptions &opts,
         opts.shards, specs.size()));
     std::error_code ec;
     std::filesystem::create_directories(opts.ledgerDir, ec);
+    // Initialize the shared user cache before any worker exists: a
+    // worker that opens a missing/foreign file takes ResultCache's
+    // truncate-and-rewrite path on first store, which would clobber
+    // sibling workers' appends. With the header in place every worker
+    // only ever appends, which is multi-process safe.
+    if (!opts.cachePath.empty())
+        ResultCache::initializeFile(opts.cachePath);
 
     const auto segPathOf = [&](unsigned k) {
         return shardSegmentPath(opts.ledgerDir, opts.benchName, k);

@@ -133,7 +133,8 @@ unixMillisNow()
             .count());
 }
 
-/** Flatten one finished point into a ledger record. */
+} // namespace
+
 obs::RunRecord
 pointRecord(const SweepRunnerOptions &opts, const ExperimentSpec &spec,
             const SweepResult &r, double wall_ms)
@@ -197,6 +198,9 @@ pointRecord(const SweepRunnerOptions &opts, const ExperimentSpec &spec,
     }
     return rec;
 }
+
+namespace
+{
 
 /** Side-file path of one point's attribution batch. */
 std::string

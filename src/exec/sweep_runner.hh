@@ -35,6 +35,7 @@
 namespace capart::obs
 {
 class RunLedger;
+struct RunRecord;
 } // namespace capart::obs
 
 namespace capart::exec
@@ -141,9 +142,14 @@ struct SweepRunnerOptions
 
     /**
      * Shard child processes; <= 1 keeps the in-process thread pool.
-     * When > 1 the runner ignores `jobs` and `cachePath` (each shard
-     * owns a results file under `ledgerDir` instead) and `run()`
-     * supervises `shards` re-executions of `workerCmd`.
+     * When > 1 the runner ignores `jobs` (each shard owns a results
+     * file under `ledgerDir` instead) and `run()` supervises `shards`
+     * re-executions of `workerCmd`. A non-empty `cachePath` is still
+     * honoured — each worker reads it through before computing and
+     * stores fresh results back, so a warm user cache replays into
+     * sharded sweeps and vice versa. Concurrent worker appends are
+     * safe: ResultCache lines carry checksums, so a torn or
+     * interleaved write is skipped on read, never misread.
      */
     unsigned shards = 0;
     /** >= 0 marks this process as shard worker k: run() computes only
@@ -190,6 +196,16 @@ struct SweepRunnerOptions
 SweepResult computePoint(const SweepRunnerOptions &opts,
                          const ExperimentSpec &spec, ResultCache *cache,
                          obs::RunLedger *ledger);
+
+/**
+ * Flatten one finished point into a `point` ledger record — the
+ * canonical encoding shared by the thread-pool runner and the shard
+ * worker, so a cache replay and a fresh computation of the same spec
+ * yield byte-comparable records.
+ */
+obs::RunRecord pointRecord(const SweepRunnerOptions &opts,
+                           const ExperimentSpec &spec,
+                           const SweepResult &r, double wall_ms);
 
 /** Fans specs across a thread pool; results in submission order. */
 class SweepRunner

@@ -19,15 +19,20 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig &cfg,
 }
 
 void
-CacheHierarchy::writebackToLlc(unsigned slot, Addr line,
+CacheHierarchy::writebackToLlc(CoreId core, unsigned slot, Addr line,
                                HierarchyOutcome &out)
 {
     // A dirty L2 victim normally hits in the inclusive LLC; if the LLC
     // already dropped the line (it back-invalidates on its own evictions,
-    // so this means the writeback raced a remask), re-install it.
-    if (llc_->markDirty(line))
+    // so this means the writeback raced a remask), re-install it. The
+    // line may survive in the core's L1 (non-inclusive L2), so the
+    // directory keeps the core marked.
+    if (llc_->markDirty(line)) {
+        llc_->noteInnerPresence(line, core);
         return;
+    }
     const CacheAccessResult res = llc_->fill(line, true, slot);
+    llc_->noteInnerPresenceAt(res.set, res.way, core);
     if (res.evicted)
         handleLlcEviction(res, out);
 }
@@ -42,7 +47,7 @@ CacheHierarchy::writebackToL2(CoreId core, unsigned slot, Addr line,
         return;
     const CacheAccessResult res = l2_[core]->fill(line, true, 0);
     if (res.evicted && res.victimDirty)
-        writebackToLlc(slot, res.victimLine, out);
+        writebackToLlc(core, slot, res.victimLine, out);
 }
 
 void
@@ -52,7 +57,15 @@ CacheHierarchy::handleLlcEviction(const CacheAccessResult &res,
     capart_assert(res.evicted);
     bool dirty = res.victimDirty;
     // Inclusive LLC: no inner cache may keep a line the LLC evicts.
+    // The core-valid directory names every core that may hold a copy
+    // (a superset — probing a non-holder is a harmless no-op), so
+    // back-invalidation is O(holders) instead of O(cores); without a
+    // directory (non-inclusive config, >64 cores) probe everyone.
+    const bool tracked =
+        llc_->tracksInnerPresence() && numCores() <= 64;
     for (unsigned c = 0; c < numCores(); ++c) {
+        if (tracked && !((res.victimInner >> c) & 1ull))
+            continue;
         const InvalidateResult i1 = l1_[c]->invalidate(res.victimLine);
         dirty = dirty || i1.wasDirty;
         const InvalidateResult i2 = l2_[c]->invalidate(res.victimLine);
@@ -77,12 +90,19 @@ CacheHierarchy::access(CoreId core, unsigned slot, Addr byte_addr,
         out.servedBy = ServiceLevel::L1;
         return out;
     }
-    if (r1.evicted && r1.victimDirty)
+    if (r1.evicted && r1.victimDirty) {
+        // The writeback below may cascade into an LLC fill whose victim
+        // is `line` itself; the directory must already know this core
+        // holds the fresh L1 copy so back-invalidation reaches it.
+        llc_->noteInnerPresence(line, core);
         writebackToL2(core, slot, r1.victimLine, out);
+    }
 
     const CacheAccessResult r2 = l2_[core]->access(line, false, 0);
-    if (r2.evicted && r2.victimDirty)
-        writebackToLlc(slot, r2.victimLine, out);
+    if (r2.evicted && r2.victimDirty) {
+        llc_->noteInnerPresence(line, core); // same race as above
+        writebackToLlc(core, slot, r2.victimLine, out);
+    }
     if (r2.hit) {
         out.servedBy = ServiceLevel::L2;
         return out;
@@ -90,6 +110,7 @@ CacheHierarchy::access(CoreId core, unsigned slot, Addr byte_addr,
 
     out.llcAccess = true;
     const CacheAccessResult r3 = llc_->access(line, false, slot);
+    llc_->noteInnerPresenceAt(r3.set, r3.way, core);
     if (r3.evicted)
         handleLlcEviction(r3, out);
     if (r3.hit) {
@@ -103,16 +124,20 @@ CacheHierarchy::access(CoreId core, unsigned slot, Addr byte_addr,
 }
 
 void
-CacheHierarchy::ensureInLlc(unsigned slot, Addr line, HierarchyOutcome &out)
+CacheHierarchy::ensureInLlc(CoreId core, unsigned slot, Addr line,
+                            HierarchyOutcome &out)
 {
-    if (llc_->touchLine(line)) {
+    const int touched = llc_->touchLineWay(line);
+    if (touched >= 0) {
         // Already resident; refreshed recency so the prefetched line is
         // not the next victim.
+        llc_->noteInnerPresenceAt(llc_->setIndex(line), touched, core);
         return;
     }
     out.llcAccess = true;
     ++out.dramReads;
     const CacheAccessResult res = llc_->fill(line, false, slot);
+    llc_->noteInnerPresenceAt(res.set, res.way, core);
     if (res.evicted)
         handleLlcEviction(res, out);
 }
@@ -126,7 +151,7 @@ CacheHierarchy::prefetchIntoL1(CoreId core, unsigned slot, Addr line)
         return out;
 
     if (!l2_[core]->probe(line))
-        ensureInLlc(slot, line, out);
+        ensureInLlc(core, slot, line, out);
 
     const CacheAccessResult r1 = l1_[core]->fill(line, false, 0);
     if (r1.evicted && r1.victimDirty)
@@ -142,11 +167,11 @@ CacheHierarchy::prefetchIntoL2(CoreId core, unsigned slot, Addr line)
     if (l2_[core]->probe(line) || l1_[core]->probe(line))
         return out;
 
-    ensureInLlc(slot, line, out);
+    ensureInLlc(core, slot, line, out);
 
     const CacheAccessResult r2 = l2_[core]->fill(line, false, 0);
     if (r2.evicted && r2.victimDirty)
-        writebackToLlc(slot, r2.victimLine, out);
+        writebackToLlc(core, slot, r2.victimLine, out);
     return out;
 }
 

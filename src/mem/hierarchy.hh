@@ -84,15 +84,17 @@ class CacheHierarchy
     void writebackToL2(CoreId core, unsigned slot, Addr line,
                        HierarchyOutcome &out);
 
-    /** Writeback a dirty line from an L2 into the LLC (may reach DRAM). */
-    void writebackToLlc(unsigned slot, Addr line, HierarchyOutcome &out);
+    /** Writeback a dirty line from @p core's L2 into the LLC. */
+    void writebackToLlc(CoreId core, unsigned slot, Addr line,
+                        HierarchyOutcome &out);
 
     /** Handle an LLC eviction: back-invalidate inner copies, count WBs. */
     void handleLlcEviction(const CacheAccessResult &res,
                            HierarchyOutcome &out);
 
     /** Ensure @p line is resident in the LLC (fill path for prefetches). */
-    void ensureInLlc(unsigned slot, Addr line, HierarchyOutcome &out);
+    void ensureInLlc(CoreId core, unsigned slot, Addr line,
+                     HierarchyOutcome &out);
 
     HierarchyConfig cfg_;
     std::vector<std::unique_ptr<SetAssocCache>> l1_;

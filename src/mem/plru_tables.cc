@@ -1,0 +1,30 @@
+#include "mem/plru_tables.hh"
+
+#include "common/logging.hh"
+
+namespace capart
+{
+
+PlruMaskTable
+buildPlruMaskTable(unsigned ways, std::uint32_t maskBits)
+{
+    capart_assert(ways >= 1 && ways <= kPlruMaxLeaves);
+    capart_assert(maskBits != 0);
+
+    const unsigned leaves = plruLeaves(ways);
+    // has[i] over the full heap (leaves live at [leaves, 2*leaves)):
+    // does the subtree rooted at i contain an allowed way?
+    bool has[2 * kPlruMaxLeaves] = {};
+    for (unsigned leaf = 0; leaf < leaves; ++leaf)
+        has[leaves + leaf] = leaf < ways && ((maskBits >> leaf) & 1u);
+    PlruMaskTable table;
+    for (unsigned n = leaves - 1; n >= 1; --n) {
+        has[n] = has[2 * n] || has[2 * n + 1];
+        table.node[n] = static_cast<std::uint8_t>(
+            (has[2 * n] ? 1u : 0u) | (has[2 * n + 1] ? 2u : 0u));
+    }
+    capart_assert(leaves == 1 || has[1]);
+    return table;
+}
+
+} // namespace capart

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Precomputed traversal tables for mask-restricted tree-PLRU.
+ *
+ * A tree-PLRU victim walk descends a binary tree of direction bits.
+ * Partitioning (§2.1) restricts victims to the accessor's way mask, so
+ * the walk must avoid subtrees that contain no allowed way. Instead of
+ * scanning leaves at every node, we precompute — once per installed
+ * way mask — a per-node pair of "subtree contains an allowed way"
+ * bits. The descent then needs no data-dependent branches:
+ *
+ *     want = (state >> node) & 1          — where the PLRU bits point
+ *     ok   = (table[node] >> want) & 1    — is that side allowed?
+ *     node = 2*node + (want ^ (ok ^ 1))   — flip direction iff not
+ *
+ * Tables are keyed by the raw way-mask bits (up to 20 ways on the
+ * paper's platforms; anything ≤ 32 works). Non-power-of-two
+ * associativities pad the leaf level to std::bit_ceil(ways); padding
+ * leaves are never allowed because masks are confined to real ways.
+ */
+
+#ifndef CAPART_MEM_PLRU_TABLES_HH
+#define CAPART_MEM_PLRU_TABLES_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace capart
+{
+
+/** Upper bound on padded leaves (ways ≤ 32 ⇒ bit_ceil ≤ 32). */
+inline constexpr unsigned kPlruMaxLeaves = 32;
+
+/**
+ * One mask's traversal table. node[n] (internal nodes are heap-indexed
+ * 1..leaves-1) holds bit 0 = left subtree has an allowed way, bit 1 =
+ * right subtree has one. node[0] is unused padding.
+ */
+struct PlruMaskTable
+{
+    std::uint8_t node[kPlruMaxLeaves] = {};
+};
+
+/** Padded leaf count of a @p ways-associative tree (power of two). */
+inline constexpr unsigned
+plruLeaves(unsigned ways)
+{
+    return ways <= 1 ? 1u : std::bit_ceil(ways);
+}
+
+/** Depth of the direction-bit tree (victim walk trip count). */
+inline constexpr unsigned
+plruLevels(unsigned ways)
+{
+    return static_cast<unsigned>(std::countr_zero(plruLeaves(ways)));
+}
+
+/** Build the traversal table for @p maskBits over @p ways ways. */
+PlruMaskTable buildPlruMaskTable(unsigned ways, std::uint32_t maskBits);
+
+} // namespace capart
+
+#endif // CAPART_MEM_PLRU_TABLES_HH

@@ -21,6 +21,8 @@ ReplacementState::create(const CacheConfig &cfg, std::uint64_t seed)
         return std::make_unique<NruState>(sets, cfg.ways);
       case ReplPolicy::Random:
         return std::make_unique<RandomState>(cfg.ways, seed);
+      case ReplPolicy::TreePLRU:
+        return std::make_unique<TreePlruState>(sets, cfg.ways);
     }
     capart_panic("unknown replacement policy");
 }
@@ -148,6 +150,73 @@ void
 NruState::invalidate(std::uint64_t set, unsigned way)
 {
     ref_[set] &= ~(1u << way);
+}
+
+// ---------------------------------------------------------- tree-PLRU --
+
+TreePlruState::TreePlruState(std::uint64_t sets, unsigned ways)
+    : ways_(ways),
+      leaves_(plruLeaves(ways)),
+      levels_(plruLevels(ways)),
+      tree_(sets, 0)
+{
+    capart_assert(ways >= 1 && ways <= 32);
+}
+
+void
+TreePlruState::touch(std::uint64_t set, unsigned way)
+{
+    std::uint32_t state = tree_[set];
+    unsigned node = leaves_ + way;
+    while (node > 1) {
+        const unsigned parent = node >> 1;
+        // Point the parent away from the child we arrived from.
+        const std::uint32_t away = (node & 1u) ^ 1u;
+        state = (state & ~(1u << parent)) | (away << parent);
+        node = parent;
+    }
+    tree_[set] = state;
+}
+
+bool
+TreePlruState::subtreeHasAllowed(unsigned node, WayMask allowed) const
+{
+    if (node >= leaves_) {
+        const unsigned way = node - leaves_;
+        return way < ways_ && allowed.contains(way);
+    }
+    return subtreeHasAllowed(2 * node, allowed) ||
+           subtreeHasAllowed(2 * node + 1, allowed);
+}
+
+unsigned
+TreePlruState::victim(std::uint64_t set, WayMask allowed,
+                      std::uint32_t valid)
+{
+    capart_assert(!allowed.empty());
+    const int inv = firstInvalid(allowed, valid);
+    if (inv >= 0)
+        return static_cast<unsigned>(inv);
+
+    const std::uint32_t state = tree_[set];
+    unsigned node = 1;
+    for (unsigned lvl = 0; lvl < levels_; ++lvl) {
+        const unsigned want = (state >> node) & 1u;
+        const unsigned dir = subtreeHasAllowed(2 * node + want, allowed)
+            ? want
+            : want ^ 1u;
+        node = 2 * node + dir;
+    }
+    const unsigned way = node - leaves_;
+    capart_assert(allowed.contains(way));
+    return way;
+}
+
+void
+TreePlruState::invalidate(std::uint64_t, unsigned)
+{
+    // Nothing to forget: victim() prefers invalid allowed ways before
+    // consulting the tree, so stale direction bits are harmless.
 }
 
 // ------------------------------------------------------------- random --

@@ -16,6 +16,7 @@
 
 #include "common/rng.hh"
 #include "mem/cache_config.hh"
+#include "mem/plru_tables.hh"
 #include "mem/way_mask.hh"
 
 namespace capart
@@ -113,6 +114,36 @@ class NruState : public ReplacementState
   private:
     unsigned ways_;
     std::vector<std::uint32_t> ref_;
+};
+
+/**
+ * Tree-PLRU: one direction bit per internal node of a binary tree over
+ * the (power-of-two padded) ways. A touch points every node on the
+ * leaf's root path away from it; the victim walk follows the bits,
+ * detouring around subtrees that contain no allowed way. This legacy
+ * implementation rescans leaves at each node; the fast engine uses the
+ * precomputed per-mask tables of mem/plru_tables.hh and must pick
+ * bit-identical victims (tests/test_mem_differential.cc enforces it).
+ */
+class TreePlruState : public ReplacementState
+{
+  public:
+    TreePlruState(std::uint64_t sets, unsigned ways);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set, WayMask allowed,
+                    std::uint32_t valid) override;
+    void invalidate(std::uint64_t set, unsigned way) override;
+
+  private:
+    /** Any allowed way among the leaves under @p node? */
+    bool subtreeHasAllowed(unsigned node, WayMask allowed) const;
+
+    unsigned ways_;
+    unsigned leaves_;  //!< std::bit_ceil(ways)
+    unsigned levels_;  //!< log2(leaves)
+    /** Bit n = victim direction at heap node n (0 left, 1 right). */
+    std::vector<std::uint32_t> tree_;
 };
 
 /** Uniform-random victim among allowed ways. */

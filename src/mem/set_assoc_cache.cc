@@ -7,31 +7,21 @@
 namespace capart
 {
 
-namespace
-{
-
-/** splitmix64 finalizer; decorrelates set selection from line alignment. */
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ULL;
-    x ^= x >> 27;
-    x *= 0x94d049bb133111ebULL;
-    x ^= x >> 31;
-    return x;
-}
-
-} // namespace
-
 SetAssocCache::SetAssocCache(const CacheConfig &cfg, std::uint64_t seed)
     : cfg_(cfg),
       sets_(cfg.sets()),
       ways_(cfg.ways),
+      hashed_(cfg.index == IndexFn::Hashed),
+      legacy_((cfg.engine == CacheEngine::Auto ? defaultCacheEngine()
+                                               : cfg.engine) ==
+              CacheEngine::Legacy),
+      policy_(cfg.repl),
       tags_(sets_ * ways_, 0),
+      owner_(sets_ * ways_, 0),
       valid_(sets_, 0),
       dirty_(sets_, 0),
-      repl_(ReplacementState::create(cfg, seed))
+      fullMask_((cfg.ways >= 32) ? ~0u : ((1u << cfg.ways) - 1u)),
+      rng_(seed)
 {
     if (sets_ == 0 || !std::has_single_bit(sets_)) {
         capart_fatal("cache '" << cfg.name << "': size "
@@ -44,97 +34,44 @@ SetAssocCache::SetAssocCache(const CacheConfig &cfg, std::uint64_t seed)
     const unsigned slots = cfg.partitionSlots ? cfg.partitionSlots : 1;
     masks_.assign(slots, WayMask::all(ways_));
     stats_.assign(slots, PartitionStats{});
-}
+    // Inclusive caches keep a core-valid directory so back-invalidation
+    // probes only cores that may actually hold the victim.
+    if (cfg.inclusive)
+        inner_.assign(sets_ * ways_, 0);
 
-std::uint64_t
-SetAssocCache::setIndex(Addr line) const
-{
-    if (cfg_.index == IndexFn::Hashed)
-        return mix64(line) & (sets_ - 1);
-    return line & (sets_ - 1);
+    if (legacy_) {
+        repl_ = ReplacementState::create(cfg, seed);
+        return;
+    }
+    switch (policy_) {
+      case ReplPolicy::LRU:
+        age_.assign(sets_ * ways_, 0);
+        clock_.assign(sets_, 0);
+        break;
+      case ReplPolicy::BitPLRU:
+      case ReplPolicy::NRU:
+        rbits_.assign(sets_, 0);
+        break;
+      case ReplPolicy::Random:
+        break;
+      case ReplPolicy::TreePLRU:
+        tree_.assign(sets_, 0);
+        leaves_ = plruLeaves(ways_);
+        levels_ = plruLevels(ways_);
+        slotTables_.assign(
+            slots, buildPlruMaskTable(ways_, WayMask::all(ways_).bits()));
+        break;
+    }
 }
 
 int
-SetAssocCache::findWay(std::uint64_t set, Addr line) const
+SetAssocCache::ownerOf(Addr line) const
 {
-    const std::uint64_t tag = line + 1;
-    const std::uint64_t base = set * ways_;
-    std::uint32_t v = valid_[set];
-    while (v) {
-        const unsigned w = static_cast<unsigned>(std::countr_zero(v));
-        if (tags_[base + w] == tag)
-            return static_cast<int>(w);
-        v &= v - 1;
-    }
-    return -1;
-}
-
-CacheAccessResult
-SetAssocCache::access(Addr line, bool write, unsigned slot)
-{
-    capart_assert(slot < stats_.size());
-    ++stats_[slot].accesses;
-
     const std::uint64_t set = setIndex(line);
     const int way = findWay(set, line);
-    if (way >= 0) {
-        ++stats_[slot].hits;
-        repl_->touch(set, static_cast<unsigned>(way));
-        if (write)
-            dirty_[set] |= (1u << way);
-        return CacheAccessResult{.hit = true};
-    }
-    return insert(set, line, write, slot);
-}
-
-CacheAccessResult
-SetAssocCache::fill(Addr line, bool dirty, unsigned slot)
-{
-    capart_assert(slot < masks_.size());
-    const std::uint64_t set = setIndex(line);
-    const int way = findWay(set, line);
-    if (way >= 0) {
-        repl_->touch(set, static_cast<unsigned>(way));
-        if (dirty)
-            dirty_[set] |= (1u << way);
-        return CacheAccessResult{.hit = true};
-    }
-    return insert(set, line, dirty, slot);
-}
-
-CacheAccessResult
-SetAssocCache::insert(std::uint64_t set, Addr line, bool dirty,
-                      unsigned slot)
-{
-    CacheAccessResult res;
-    const WayMask mask = masks_[slot];
-    capart_assert(!mask.empty());
-    const unsigned victim = repl_->victim(set, mask, valid_[set]);
-    capart_assert(victim < ways_);
-    capart_assert(mask.contains(victim));
-
-    const std::uint64_t idx = set * ways_ + victim;
-    const std::uint32_t bit = 1u << victim;
-    if (valid_[set] & bit) {
-        res.evicted = true;
-        res.victimLine = tags_[idx] - 1;
-        res.victimDirty = (dirty_[set] & bit) != 0;
-    }
-
-    tags_[idx] = line + 1;
-    valid_[set] |= bit;
-    if (dirty)
-        dirty_[set] |= bit;
-    else
-        dirty_[set] &= ~bit;
-    repl_->touch(set, victim);
-    return res;
-}
-
-bool
-SetAssocCache::probe(Addr line) const
-{
-    return findWay(setIndex(line), line) >= 0;
+    if (way < 0)
+        return -1;
+    return owner_[set * ways_ + static_cast<unsigned>(way)];
 }
 
 bool
@@ -145,18 +82,10 @@ SetAssocCache::markDirty(Addr line)
     if (way < 0)
         return false;
     dirty_[set] |= (1u << way);
-    repl_->touch(set, static_cast<unsigned>(way));
-    return true;
-}
-
-bool
-SetAssocCache::touchLine(Addr line)
-{
-    const std::uint64_t set = setIndex(line);
-    const int way = findWay(set, line);
-    if (way < 0)
-        return false;
-    repl_->touch(set, static_cast<unsigned>(way));
+    if (legacy_)
+        repl_->touch(set, static_cast<unsigned>(way));
+    else
+        replTouch(set, static_cast<unsigned>(way));
     return true;
 }
 
@@ -174,7 +103,26 @@ SetAssocCache::invalidate(Addr line)
     valid_[set] &= ~bit;
     dirty_[set] &= ~bit;
     tags_[set * ways_ + static_cast<unsigned>(way)] = 0;
-    repl_->invalidate(set, static_cast<unsigned>(way));
+    if (!inner_.empty())
+        inner_[set * ways_ + static_cast<unsigned>(way)] = 0;
+    if (legacy_) {
+        repl_->invalidate(set, static_cast<unsigned>(way));
+        return res;
+    }
+    switch (policy_) {
+      case ReplPolicy::LRU:
+        age_[set * ways_ + static_cast<unsigned>(way)] = 0;
+        break;
+      case ReplPolicy::BitPLRU:
+      case ReplPolicy::NRU:
+        rbits_[set] &= ~bit;
+        break;
+      case ReplPolicy::Random:
+      case ReplPolicy::TreePLRU:
+        // Nothing to forget: victim() prefers invalid allowed ways
+        // before consulting policy state.
+        break;
+    }
     return res;
 }
 
@@ -185,6 +133,8 @@ SetAssocCache::setPartitionMask(unsigned slot, WayMask mask)
     capart_assert(!mask.empty());
     capart_assert((mask & WayMask::all(ways_)) == mask);
     masks_[slot] = mask;
+    if (!legacy_ && policy_ == ReplPolicy::TreePLRU)
+        slotTables_[slot] = buildPlruMaskTable(ways_, mask.bits());
 }
 
 WayMask

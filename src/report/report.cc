@@ -105,9 +105,11 @@ metricDirection(const std::string &name)
         endsWith(name, "mpki") || endsWith(name, "apki") ||
         endsWith(name, "fg_delta_vs_biased") || endsWith(name, "timed_out"))
         return 1;
-    // Higher is better: throughput, IPC, and speedup figures.
+    // Higher is better: throughput, IPC, and speedup figures —
+    // including host simulation throughput (bench_micro_simulator).
     if (endsWith(name, "throughput_ips") || endsWith(name, "ipc") ||
-        endsWith(name, "weighted_speedup") || endsWith(name, "bg_vs_biased"))
+        endsWith(name, "weighted_speedup") ||
+        endsWith(name, "bg_vs_biased") || endsWith(name, "accesses_per_s"))
         return -1;
     // Neutral diagnostics (way counts and anything unrecognized):
     // reported, never gated on.

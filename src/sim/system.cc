@@ -27,7 +27,6 @@ System::System(const SystemConfig &cfg)
     latencies_.llc = cfg.hierarchy.llcLatency;
     prefetchers_.assign(cfg.numCores, PrefetcherBank(cfg.prefetch));
     hts_.resize(cfg.numHts());
-    accessBuf_.reserve(4096);
     prefetchBuf_.reserve(16);
 }
 
@@ -203,9 +202,9 @@ System::stepHt(HwThreadId ht)
                                 static_cast<double>(wl.totalWork()))
             : 1.0;
 
-    accessBuf_.clear();
+    accessRing_.clear();
     const Insts insts =
-        wl.runQuantum(cfg_.quantumInsts, progress, accessBuf_);
+        wl.runQuantum(cfg_.quantumInsts, progress, accessRing_);
     capart_assert(insts > 0);
 
     if (obs::enabled()) {
@@ -223,7 +222,11 @@ System::stepHt(HwThreadId ht)
     std::uint64_t prefetch_fills = 0;
     std::uint64_t prefetch_dram_reads = 0;
 
-    for (const MemAccess &acc : accessBuf_) {
+    // Drain the quantum's block. The replay order — each access, then
+    // the prefetches it triggered, then the next access — must match
+    // the incremental path exactly: fills perturb replacement state.
+    PrefetcherBank &pf = prefetchers_[core];
+    for (const MemAccess &acc : accessRing_) {
         if (acc.uncached) {
             // Non-temporal accesses bypass every cache and overlap
             // deeply in the write-combining buffers; their cost is pure
@@ -255,9 +258,8 @@ System::stepHt(HwThreadId ht)
         dram_writes += out.dramWrites;
 
         prefetchBuf_.clear();
-        prefetchers_[core].observe(acc.pc, lineAddr(acc.addr),
-                                   out.servedBy != ServiceLevel::L1,
-                                   prefetchBuf_);
+        pf.observe(acc.pc, lineAddr(acc.addr),
+                   out.servedBy != ServiceLevel::L1, prefetchBuf_);
         for (const PrefetchRequest &req : prefetchBuf_) {
             const HierarchyOutcome pout =
                 req.intoL1

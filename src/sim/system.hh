@@ -28,6 +28,7 @@
 #include "prefetch/prefetchers.hh"
 #include "sim/run_result.hh"
 #include "sim/system_config.hh"
+#include "workload/access_ring.hh"
 #include "workload/generator.hh"
 
 namespace capart
@@ -231,8 +232,10 @@ class System
     bool ran_ = false;
     std::uint64_t quanta_ = 0; //!< attribution sampling clock
 
-    /** Scratch buffers reused across quanta (no per-quantum allocation). */
-    std::vector<MemAccess> accessBuf_;
+    /** Scratch buffers reused across quanta (no per-quantum allocation).
+     *  The access ring carries each quantum's block from the workload
+     *  generator to the replay loop (see workload/access_ring.hh). */
+    AccessRing accessRing_;
     std::vector<PrefetchRequest> prefetchBuf_;
 };
 

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A reusable block buffer between workload generation and replay.
+ *
+ * The quantum loop is a strict producer/consumer cycle: a
+ * ThreadWorkload emits one quantum's accesses as a block, then
+ * System::stepHt drains the whole block before the next quantum
+ * starts. The ring exploits that discipline: producers claim raw
+ * storage for a known-size block and write through a pointer (no
+ * per-access capacity checks or growth), consumers iterate the
+ * contiguous span, and clear() recycles the same allocation every
+ * quantum. Capacity grows geometrically to the largest burst seen and
+ * then never reallocates, so steady-state replay touches no allocator.
+ */
+
+#ifndef CAPART_WORKLOAD_ACCESS_RING_HH
+#define CAPART_WORKLOAD_ACCESS_RING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace capart
+{
+
+/** Flat, recycled buffer of one quantum's MemAccess block. */
+class AccessRing
+{
+  public:
+    explicit AccessRing(std::size_t capacity = 4096)
+    {
+        buf_.resize(capacity);
+    }
+
+    /**
+     * Reserve room for @p n more accesses and return the write cursor.
+     * The caller fills entries [0, n) and then calls commit(); claimed
+     * but uncommitted entries are simply reused by the next claim.
+     */
+    MemAccess *
+    claim(std::size_t n)
+    {
+        if (size_ + n > buf_.size()) {
+            std::size_t cap = buf_.size() ? buf_.size() : 1;
+            while (cap < size_ + n)
+                cap *= 2;
+            buf_.resize(cap);
+        }
+        return buf_.data() + size_;
+    }
+
+    /** Publish @p n entries written after the last claim(). */
+    void commit(std::size_t n) { size_ += n; }
+
+    /** Drop all entries; storage is retained. */
+    void clear() { size_ = 0; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const MemAccess *begin() const { return buf_.data(); }
+    const MemAccess *end() const { return buf_.data() + size_; }
+
+  private:
+    std::vector<MemAccess> buf_;
+    std::size_t size_ = 0;
+};
+
+} // namespace capart
+
+#endif // CAPART_WORKLOAD_ACCESS_RING_HH

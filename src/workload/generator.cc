@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "workload/access_ring.hh"
 
 namespace capart
 {
@@ -174,6 +175,35 @@ ThreadWorkload::runQuantum(Insts max_insts, double app_progress,
     out.reserve(out.size() + accesses);
     for (std::uint64_t i = 0; i < accesses; ++i)
         out.push_back(genAccess(phase_idx, pickPattern(phase_idx)));
+
+    retired_ += insts;
+    return insts;
+}
+
+Insts
+ThreadWorkload::runQuantum(Insts max_insts, double app_progress,
+                           AccessRing &ring)
+{
+    if (done() || max_insts == 0)
+        return 0;
+
+    const Insts remaining = totalWork_ - retired_;
+    const Insts insts = std::min<Insts>(max_insts, remaining);
+    const unsigned phase_idx = phaseIndexAt(app_progress);
+    const PhaseSpec &phase = params_.phases[phase_idx];
+
+    const double exact =
+        static_cast<double>(insts) * phase.memRatio + memCarry_;
+    auto accesses = static_cast<std::uint64_t>(exact);
+    memCarry_ = exact - static_cast<double>(accesses);
+
+    // One claim for the whole known-size block; the emit loop writes
+    // through a raw cursor with no growth checks. RNG consumption per
+    // access is identical to the vector overload above.
+    MemAccess *dst = ring.claim(accesses);
+    for (std::uint64_t i = 0; i < accesses; ++i)
+        dst[i] = genAccess(phase_idx, pickPattern(phase_idx));
+    ring.commit(accesses);
 
     retired_ += insts;
     return insts;

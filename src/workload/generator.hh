@@ -69,6 +69,15 @@ class ThreadWorkload
     Insts runQuantum(Insts max_insts, double app_progress,
                      std::vector<MemAccess> &out);
 
+    /**
+     * Batched variant: emit the quantum's accesses as one block into
+     * @p ring (claim/commit, no per-access growth checks). Consumes
+     * the RNG in exactly the same sequence as the vector overload, so
+     * both produce bit-identical access streams.
+     */
+    Insts runQuantum(Insts max_insts, double app_progress,
+                     class AccessRing &ring);
+
     /** The phase in force at @p app_progress. */
     const PhaseSpec &phaseAt(double app_progress) const;
 

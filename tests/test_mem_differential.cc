@@ -21,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -36,12 +37,12 @@ namespace
 {
 
 /**
- * Naive mirror of SetAssocCache for LRU and BitPLRU. Every structure
- * is a plain per-way vector and every decision a loop over ways; no
- * bit tricks shared with the implementation under test. Set indexing
- * is delegated to the hardware model (the public setIndex()) so the
- * hashed indexing function is exercised too — the model then has to
- * agree on everything that *happens* at that set.
+ * Naive mirror of SetAssocCache for LRU, BitPLRU, and TreePLRU. Every
+ * structure is a plain per-way vector and every decision a loop over
+ * ways; no bit tricks shared with the implementation under test. Set
+ * indexing is delegated to the hardware model (the public setIndex())
+ * so the hashed indexing function is exercised too — the model then
+ * has to agree on everything that *happens* at that set.
  */
 class RefCache
 {
@@ -60,6 +61,12 @@ class RefCache
           mru_(sets_ * ways_, 0),
           masks_(slots, WayMask::all(ways_))
     {
+        // Padded leaf count of the tree-PLRU tree: the smallest power
+        // of two covering the ways (computed the obvious way).
+        leaves_ = 1;
+        while (leaves_ < ways_)
+            leaves_ *= 2;
+        treeDir_.assign(sets_ * 2 * leaves_, 0);
     }
 
     void setMask(unsigned slot, WayMask m) { masks_[slot] = m; }
@@ -106,8 +113,10 @@ class RefCache
         dirty_[at(set, way)] = 0;
         if (repl_ == ReplPolicy::LRU)
             age_[at(set, way)] = 0;
-        else
+        else if (repl_ == ReplPolicy::BitPLRU)
             mru_[at(set, way)] = 0;
+        // TreePLRU: direction bits are left alone — victim selection
+        // prefers invalid allowed ways before consulting the tree.
         return res;
     }
 
@@ -160,11 +169,42 @@ class RefCache
         return -1;
     }
 
+    /** Index of tree-PLRU node @p node of @p set in treeDir_. */
+    std::size_t
+    tnode(std::uint64_t set, unsigned node) const
+    {
+        return set * 2 * leaves_ + node;
+    }
+
+    /** Does the subtree rooted at @p node hold any allowed way? */
+    bool
+    subtreeHasAllowed(unsigned node, WayMask allowed) const
+    {
+        if (node >= leaves_) {
+            const unsigned w = node - leaves_;
+            return w < ways_ && allowed.contains(w);
+        }
+        return subtreeHasAllowed(2 * node, allowed) ||
+               subtreeHasAllowed(2 * node + 1, allowed);
+    }
+
     void
     touch(std::uint64_t set, unsigned way)
     {
         if (repl_ == ReplPolicy::LRU) {
             age_[at(set, static_cast<int>(way))] = ++clock_[set];
+            return;
+        }
+        if (repl_ == ReplPolicy::TreePLRU) {
+            // Walk from the touched leaf to the root, pointing every
+            // node on the path away from the child we came from.
+            unsigned node = leaves_ + way;
+            while (node > 1) {
+                const unsigned parent = node / 2;
+                const bool came_from_left = (node % 2) == 0;
+                treeDir_[tnode(set, parent)] = came_from_left ? 1 : 0;
+                node = parent;
+            }
             return;
         }
         // Bit-PLRU: mark MRU; when every way of the set is marked, the
@@ -187,6 +227,20 @@ class RefCache
         for (unsigned w = 0; w < ways_; ++w) {
             if (allowed.contains(w) && !valid_[at(set, static_cast<int>(w))])
                 return w;
+        }
+        if (repl_ == ReplPolicy::TreePLRU) {
+            // Follow the direction bits from the root, detouring
+            // whenever the pointed-to subtree has no allowed way.
+            unsigned node = 1;
+            while (node < leaves_) {
+                unsigned want = treeDir_[tnode(set, node)];
+                if (!subtreeHasAllowed(2 * node + want, allowed))
+                    want ^= 1u;
+                node = 2 * node + want;
+            }
+            const unsigned way = node - leaves_;
+            EXPECT_TRUE(allowed.contains(way));
+            return way;
         }
         if (repl_ == ReplPolicy::LRU) {
             // Least age among allowed; ties go to the lowest way.
@@ -255,6 +309,9 @@ class RefCache
     std::vector<std::uint32_t> age_; //!< LRU
     std::vector<std::uint32_t> clock_;
     std::vector<std::uint8_t> mru_; //!< bit-PLRU
+    unsigned leaves_ = 1;           //!< tree-PLRU padded leaf count
+    /** tree-PLRU direction per (set, heap node): 0 left, 1 right. */
+    std::vector<std::uint8_t> treeDir_;
     std::vector<WayMask> masks_;
 };
 
@@ -287,20 +344,25 @@ expectContentsEqual(const SetAssocCache &hw, const RefCache &ref)
                 << "line " << line << " missing from set " << set;
             EXPECT_EQ(hw.wayOf(line), static_cast<int>(w))
                 << "line " << line << " in the wrong way of set " << set;
+            EXPECT_EQ(hw.ownerOf(line), static_cast<int>(inserter))
+                << "line " << line << " owner plane disagrees, set "
+                << set;
         }
     }
 }
 
 void
-runDifferential(ReplPolicy repl, IndexFn index, std::uint64_t seed)
+runDifferential(ReplPolicy repl, IndexFn index, std::uint64_t seed,
+                unsigned ways = 8, unsigned sets = 16,
+                unsigned slots = 4, unsigned ops = 40000)
 {
-    constexpr unsigned kWays = 8;
-    constexpr unsigned kSets = 16;
-    constexpr unsigned kSlots = 4;
-    constexpr unsigned kOps = 40000;
-    constexpr unsigned kContentCheckEvery = 512;
+    const unsigned kWays = ways;
+    const unsigned kSets = sets;
+    const unsigned kSlots = slots;
+    const unsigned kOps = ops;
+    const unsigned kContentCheckEvery = std::max(512u, ops / 64);
     // ~2x capacity worth of distinct lines: plenty of conflict misses.
-    constexpr Addr kLines = 2 * kSets * kWays;
+    const Addr kLines = 2ull * kSets * kWays;
 
     const CacheConfig cfg = diffCache(repl, index, kWays, kSets, kSlots);
     SetAssocCache hw(cfg, seed);
@@ -385,11 +447,166 @@ TEST(MemDifferential, BitPlruHashedAgreesWithReference)
     runDifferential(ReplPolicy::BitPLRU, IndexFn::Hashed, 31337);
 }
 
+TEST(MemDifferential, TreePlruModuloAgreesWithReference)
+{
+    runDifferential(ReplPolicy::TreePLRU, IndexFn::Modulo, 555);
+}
+
+TEST(MemDifferential, TreePlruHashedAgreesWithReference)
+{
+    runDifferential(ReplPolicy::TreePLRU, IndexFn::Hashed, 556);
+}
+
+TEST(MemDifferential, TreePlruNonPowerOfTwoWays)
+{
+    // 20 ways pad the tree-PLRU leaf level to 32; the padding leaves
+    // must never be chosen because no mask can allow them.
+    runDifferential(ReplPolicy::TreePLRU, IndexFn::Hashed, 557,
+                    /*ways=*/20, /*sets=*/16);
+    runDifferential(ReplPolicy::TreePLRU, IndexFn::Modulo, 558,
+                    /*ways=*/12, /*sets=*/64);
+}
+
 TEST(MemDifferential, SecondSeedSweep)
 {
-    // Cheap extra coverage across both policies at another seed.
+    // Cheap extra coverage across the policies at another seed.
     runDifferential(ReplPolicy::LRU, IndexFn::Hashed, 2024);
     runDifferential(ReplPolicy::BitPLRU, IndexFn::Modulo, 2025);
+    runDifferential(ReplPolicy::TreePLRU, IndexFn::Hashed, 2026);
+}
+
+/**
+ * Seeded property/fuzz sweep: every iteration derives a random
+ * configuration — associativity in {4, 8, 16, 20}, a power-of-two set
+ * count in [64, 4096], one of LRU/BitPLRU/TreePLRU, either indexing
+ * function — and replays a 100k-operation random stream with live
+ * way-mask remasks mid-stream. The invariants are those of
+ * runDifferential: the hit/miss/eviction stream is identical to the
+ * naive reference, every victim lies inside the accessor's mask at
+ * eviction time, and the tag/owner planes match the reference exactly.
+ */
+TEST(MemProperty, FuzzRandomGeometriesAndPolicies)
+{
+    constexpr std::uint64_t kFuzzSeed = 0xf00dfaceULL;
+    constexpr int kConfigs = 6;
+    constexpr ReplPolicy kPolicies[] = {
+        ReplPolicy::LRU, ReplPolicy::BitPLRU, ReplPolicy::TreePLRU};
+    constexpr unsigned kAssocs[] = {4, 8, 16, 20};
+
+    Rng meta(kFuzzSeed);
+    for (int c = 0; c < kConfigs; ++c) {
+        const unsigned ways =
+            kAssocs[static_cast<unsigned>(meta.below(4))];
+        // Sets: 2^6 .. 2^12 (the constructor requires a power of two).
+        const unsigned sets = 1u << (6 + meta.below(7));
+        const ReplPolicy repl =
+            kPolicies[static_cast<unsigned>(meta.below(3))];
+        const IndexFn index =
+            meta.chance(0.5) ? IndexFn::Hashed : IndexFn::Modulo;
+        const std::uint64_t seed = meta.next();
+        SCOPED_TRACE(testing::Message()
+                     << "config " << c << ": ways=" << ways
+                     << " sets=" << sets << " repl="
+                     << static_cast<int>(repl) << " hashed="
+                     << (index == IndexFn::Hashed) << " seed=" << seed);
+        runDifferential(repl, index, seed, ways, sets, /*slots=*/4,
+                        /*ops=*/100000);
+    }
+}
+
+/**
+ * Fast-vs-legacy differential: replay one random stream — including
+ * live remasks, fills, and back-invalidations — against the flat-array
+ * fast engine and the original virtual-dispatch legacy engine, and
+ * require identical outcomes on every operation. This is the bit-exact
+ * equivalence proof that gates deleting the legacy path; it covers all
+ * five policies (Random included: both engines must consume their RNG
+ * in the same sequence).
+ */
+void
+runEngineDifferential(ReplPolicy repl, IndexFn index, std::uint64_t seed,
+                      unsigned ways, unsigned sets, unsigned ops)
+{
+    constexpr unsigned kSlots = 4;
+    CacheConfig fast_cfg = diffCache(repl, index, ways, sets, kSlots);
+    fast_cfg.engine = CacheEngine::Fast;
+    CacheConfig legacy_cfg = fast_cfg;
+    legacy_cfg.engine = CacheEngine::Legacy;
+
+    SetAssocCache fast(fast_cfg, seed);
+    SetAssocCache legacy(legacy_cfg, seed);
+    ASSERT_EQ(fast.engine(), CacheEngine::Fast);
+    ASSERT_EQ(legacy.engine(), CacheEngine::Legacy);
+
+    const Addr kLines = 2ull * sets * ways;
+    Rng rng(seed);
+    for (unsigned op = 0; op < ops; ++op) {
+        if (rng.chance(0.005)) {
+            const unsigned slot = static_cast<unsigned>(rng.below(kSlots));
+            const auto bits = static_cast<std::uint32_t>(
+                rng.below((1u << ways) - 1) + 1);
+            fast.setPartitionMask(slot, WayMask(bits));
+            legacy.setPartitionMask(slot, WayMask(bits));
+        }
+
+        const Addr line = rng.below(kLines);
+        const unsigned slot = static_cast<unsigned>(rng.below(kSlots));
+
+        if (rng.chance(0.02)) {
+            const InvalidateResult f = fast.invalidate(line);
+            const InvalidateResult l = legacy.invalidate(line);
+            ASSERT_EQ(f.wasPresent, l.wasPresent) << "op " << op;
+            ASSERT_EQ(f.wasDirty, l.wasDirty) << "op " << op;
+            continue;
+        }
+
+        const bool write = rng.chance(0.3);
+        CacheAccessResult f;
+        CacheAccessResult l;
+        if (rng.chance(0.1)) {
+            f = fast.fill(line, write, slot);
+            l = legacy.fill(line, write, slot);
+        } else {
+            f = fast.access(line, write, slot);
+            l = legacy.access(line, write, slot);
+        }
+        ASSERT_EQ(f.hit, l.hit) << "op " << op << " line " << line;
+        ASSERT_EQ(f.evicted, l.evicted) << "op " << op;
+        if (f.evicted) {
+            ASSERT_EQ(f.victimLine, l.victimLine) << "op " << op;
+            ASSERT_EQ(f.victimDirty, l.victimDirty) << "op " << op;
+        }
+        ASSERT_EQ(fast.wayOf(line), legacy.wayOf(line)) << "op " << op;
+        ASSERT_EQ(fast.ownerOf(line), legacy.ownerOf(line)) << "op " << op;
+    }
+
+    // Full-state parity at the end: every resident line of the legacy
+    // engine sits in the same way of the fast engine.
+    ASSERT_EQ(fast.residentLines(), legacy.residentLines());
+    legacy.forEachResident([&](Addr line, unsigned way) {
+        EXPECT_EQ(fast.wayOf(line), static_cast<int>(way));
+    });
+}
+
+TEST(MemEngineDifferential, AllPoliciesAgreeAcrossEngines)
+{
+    constexpr ReplPolicy kAll[] = {
+        ReplPolicy::LRU, ReplPolicy::BitPLRU, ReplPolicy::NRU,
+        ReplPolicy::Random, ReplPolicy::TreePLRU};
+    std::uint64_t seed = 808;
+    for (const ReplPolicy repl : kAll) {
+        SCOPED_TRACE(static_cast<int>(repl));
+        runEngineDifferential(repl, IndexFn::Hashed, seed++, 8, 16,
+                              100000);
+    }
+}
+
+TEST(MemEngineDifferential, WideAssociativityAndModuloIndexing)
+{
+    runEngineDifferential(ReplPolicy::TreePLRU, IndexFn::Modulo, 909,
+                          /*ways=*/20, /*sets=*/64, 100000);
+    runEngineDifferential(ReplPolicy::LRU, IndexFn::Modulo, 910,
+                          /*ways=*/16, /*sets=*/128, 60000);
 }
 
 /**
@@ -434,6 +651,18 @@ TEST(MemDifferential, OccupancyBoundedByMaskPopcount)
             }
             ASSERT_LE(per_slot[0], fg.count()) << "set " << set;
             ASSERT_LE(per_slot[1], bg.count()) << "set " << set;
+        }
+        // The same bound audited through the hardware owner plane.
+        std::vector<unsigned> hw_count(2 * ref.sets(), 0);
+        hw.forEachResident([&](Addr l, unsigned) {
+            const int owner = hw.ownerOf(l);
+            ASSERT_GE(owner, 0);
+            ++hw_count[hw.setIndex(l) * 2 +
+                       static_cast<unsigned>(owner)];
+        });
+        for (std::uint64_t set = 0; set < ref.sets(); ++set) {
+            ASSERT_LE(hw_count[set * 2 + 0], fg.count()) << "set " << set;
+            ASSERT_LE(hw_count[set * 2 + 1], bg.count()) << "set " << set;
         }
     }
 }

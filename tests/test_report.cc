@@ -195,6 +195,7 @@ TEST(Report, MetricDirections)
     EXPECT_EQ(report::metricDirection("shared.bg_throughput_ips"), -1);
     EXPECT_EQ(report::metricDirection("ipc"), -1);
     EXPECT_EQ(report::metricDirection("dynamic.weighted_speedup"), -1);
+    EXPECT_EQ(report::metricDirection("accesses_per_s"), -1);
     EXPECT_EQ(report::metricDirection("biased.fg_ways"), 0)
         << "way counts are diagnostics, not gated";
     EXPECT_EQ(report::metricDirection("something.unknown"), 0);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "exec/experiment_spec.hh"
+#include "exec/result_cache.hh"
 #include "exec/shard_supervisor.hh"
 #include "exec/sweep_runner.hh"
 #include "obs/run_ledger.hh"
@@ -480,6 +481,112 @@ TEST(ShardSweep, ExhaustedRetriesQuarantineButNeverAbort)
     std::filesystem::remove_all(dir);
 }
 
+TEST(ShardSweep, UserCacheReplaysIntoShardedRunUncorrupted)
+{
+    const std::vector<ExperimentSpec> specs = testSpecs();
+    const std::vector<SweepResult> &expected = expectedResults();
+
+    const std::string dir = freshDir("capart_shard_usercache");
+    const std::string cache_path = dir + "/user.cache";
+    // Warm the user-level cache with a plain in-process sweep — the
+    // --cache-dir file a user accumulated before going sharded.
+    {
+        SweepRunnerOptions warm;
+        warm.baseSeed = kShardSeed;
+        warm.cachePath = cache_path;
+        SweepRunner(warm).run(specs);
+    }
+
+    // Sharded run over the warm cache, with chaos armed to crash
+    // EVERY computed point on every attempt: completing bit-exactly
+    // proves every worker resolved every point from the user cache —
+    // the replay path skips the point_start where chaos fires, so a
+    // single computed point would crash its worker to quarantine.
+    const EnvGuard env({{"CAPART_SHARD_BACKOFF_MS", "20"},
+                        {"CAPART_CHAOS_CRASH_MOD", "1"},
+                        {"CAPART_CHAOS_CRASH_ATTEMPTS", "99"}});
+    SweepRunnerOptions o = supervisorOptions(dir);
+    o.cachePath = cache_path;
+    o.workerCmd = {selfExe(), "--cache-path=" + cache_path};
+    obs::RunLedger canonical(dir + "/canonical.jsonl");
+    o.ledger = &canonical;
+    const std::vector<SweepResult> got = SweepRunner(o).run(specs);
+
+    ASSERT_EQ(got.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_FALSE(got[i].failed) << i;
+        EXPECT_TRUE(sameResult(expected[i], got[i])) << i;
+    }
+
+    // The per-shard segments must have stayed well-formed: no torn
+    // lines, exactly one point per spec, every one flagged as a cache
+    // replay.
+    std::vector<std::string> segs;
+    for (unsigned k = 0; k < 3; ++k)
+        segs.push_back(dir + "/" + kShardBench + "-shard-" +
+                       std::to_string(k) + ".seg.jsonl");
+    const obs::MergeResult m = obs::mergeLedgerSegments(segs);
+    EXPECT_EQ(m.tornLines, 0u);
+    EXPECT_EQ(m.quarantined, 0u);
+    std::size_t points = 0;
+    for (const obs::RunRecord &r : m.records) {
+        if (r.kind != "point")
+            continue;
+        ++points;
+        EXPECT_TRUE(r.fromCache) << r.spec;
+    }
+    EXPECT_EQ(points, specs.size());
+
+    // And the shared user-cache file itself survived the concurrent
+    // worker traffic: every line still checksums, every spec decodes
+    // to the expected result.
+    ResultCache reread(cache_path);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SweepResult r;
+        ASSERT_TRUE(reread.lookup(
+            specCacheKey(specs[i], kShardSeed), &r))
+            << i;
+        EXPECT_TRUE(sameResult(expected[i], r)) << i;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardSweep, ShardedRunWarmsUserCacheThroughRetries)
+{
+    const std::vector<ExperimentSpec> specs = testSpecs();
+    const std::vector<SweepResult> &expected = expectedResults();
+
+    const std::string dir = freshDir("capart_shard_cachewarm");
+    const std::string cache_path = dir + "/user.cache";
+    // Cold user cache; even-hash points crash their worker once each,
+    // so the write-back path must also survive respawn/fast-forward.
+    const EnvGuard env({{"CAPART_SHARD_BACKOFF_MS", "20"},
+                        {"CAPART_CHAOS_CRASH_MOD", "2"}});
+    SweepRunnerOptions o = supervisorOptions(dir);
+    o.cachePath = cache_path;
+    o.workerCmd = {selfExe(), "--cache-path=" + cache_path};
+    const std::vector<SweepResult> got = SweepRunner(o).run(specs);
+
+    ASSERT_EQ(got.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_FALSE(got[i].failed) << i;
+        EXPECT_TRUE(sameResult(expected[i], got[i])) << i;
+    }
+
+    // Workers stored every computed point back: a fresh ResultCache
+    // over the file resolves the whole sweep bit-exactly.
+    ResultCache warmed(cache_path);
+    EXPECT_EQ(warmed.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SweepResult r;
+        ASSERT_TRUE(warmed.lookup(
+            specCacheKey(specs[i], kShardSeed), &r))
+            << i;
+        EXPECT_TRUE(sameResult(expected[i], r)) << i;
+    }
+    std::filesystem::remove_all(dir);
+}
+
 TEST(ShardSweep, ResumeFastForwardsWithoutRecomputing)
 {
     const std::vector<ExperimentSpec> specs = testSpecs();
@@ -523,6 +630,7 @@ main(int argc, char **argv)
     int worker = -1;
     unsigned shards = 0;
     std::string ledger_dir;
+    std::string cache_path;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a.rfind("--shard-worker=", 0) == 0)
@@ -532,6 +640,8 @@ main(int argc, char **argv)
                 std::strtoul(a.c_str() + 9, nullptr, 10));
         else if (a.rfind("--ledger-dir=", 0) == 0)
             ledger_dir = a.substr(13);
+        else if (a.rfind("--cache-path=", 0) == 0)
+            cache_path = a.substr(13);
     }
     if (worker >= 0 && shards > 0) {
         using namespace capart::exec;
@@ -542,6 +652,7 @@ main(int argc, char **argv)
         o.shards = shards;
         o.shardWorker = worker;
         o.ledgerDir = ledger_dir;
+        o.cachePath = cache_path;
         SweepRunner(o).run(testSpecs()); // exits; never returns
     }
     ::testing::InitGoogleTest(&argc, argv);
