@@ -1,0 +1,101 @@
+#include "core/partitioner.hh"
+
+#include <cassert>
+
+namespace capart
+{
+
+const char *
+npolicyName(NPolicy p)
+{
+    switch (p) {
+      case NPolicy::Shared:
+        return "shared";
+      case NPolicy::Fair:
+        return "fair";
+      case NPolicy::Biased:
+        return "biased";
+      case NPolicy::Dynamic:
+        return "dynamic";
+      case NPolicy::Ucp:
+        return "ucp";
+      case NPolicy::Lfoc:
+        return "lfoc";
+    }
+    return "?";
+}
+
+std::vector<WayMask>
+fairMasks(std::size_t num_apps, unsigned total_ways)
+{
+    assert(num_apps > 0 && total_ways > 0);
+    std::vector<WayMask> masks;
+    masks.reserve(num_apps);
+    if (num_apps <= total_ways) {
+        // Contiguous chunks, remainder ways to the first apps. At
+        // N = 2 / even ways this is exactly splitWays(total / 2):
+        // app 0 low ways, app 1 high ways.
+        const unsigned base = total_ways / static_cast<unsigned>(num_apps);
+        const unsigned extra = total_ways % static_cast<unsigned>(num_apps);
+        unsigned first = 0;
+        for (std::size_t i = 0; i < num_apps; ++i) {
+            const unsigned count = base + (i < extra ? 1 : 0);
+            masks.push_back(WayMask::range(first, count));
+            first += count;
+        }
+    } else {
+        // More apps than ways: single-way partitions shared by
+        // neighbouring apps. floor(i * W / N) hits every way when
+        // N >= W, so coverage holds and every mask is non-empty.
+        for (std::size_t i = 0; i < num_apps; ++i) {
+            const unsigned way = static_cast<unsigned>(
+                i * total_ways / num_apps);
+            masks.push_back(WayMask::range(way, 1));
+        }
+    }
+    return masks;
+}
+
+std::vector<WayMask>
+SharedPartitioner::decide(const std::vector<AppObservation> &apps,
+                          unsigned total_ways)
+{
+    return std::vector<WayMask>(apps.size(), WayMask::all(total_ways));
+}
+
+std::vector<WayMask>
+FairPartitioner::decide(const std::vector<AppObservation> &apps,
+                        unsigned total_ways)
+{
+    return fairMasks(apps.size(), total_ways);
+}
+
+BiasedPartitioner::BiasedPartitioner(unsigned fg_ways) : fgWays_(fg_ways)
+{
+    assert(fg_ways > 0);
+}
+
+std::vector<WayMask>
+BiasedPartitioner::decide(const std::vector<AppObservation> &apps,
+                          unsigned total_ways)
+{
+    // Alone there is nothing to bias against: the app takes the whole
+    // cache (anything less would strand the uncovered ways).
+    if (apps.size() == 1)
+        return {WayMask::all(total_ways)};
+    // Clamp so the co-runners keep at least one way between them.
+    const unsigned fg =
+        fgWays_ >= total_ways ? total_ways - 1 : fgWays_;
+    std::vector<WayMask> masks;
+    masks.reserve(apps.size());
+    masks.push_back(WayMask::range(0, fg));
+    // Complement split fairly among the co-runners, shifted up past
+    // the foreground allocation. At N = 2 the single co-runner gets
+    // the whole complement — exactly splitWays(fg, total).bg.
+    const auto rest = fairMasks(apps.size() - 1, total_ways - fg);
+    for (const WayMask &m : rest)
+        masks.push_back(WayMask(m.bits() << fg));
+    return masks;
+}
+
+} // namespace capart

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The common N-app LLC partitioning interface.
+ *
+ * The paper only ever splits the LLC between one foreground and one
+ * background application. Production co-location mixes hold many more
+ * co-runners, so every allocation policy — the paper's static
+ * shared/fair/biased splits, Algorithm 6.2, utility-based UCP, and the
+ * LFOC-style clustering policy — is expressed as a @ref Partitioner:
+ * a (possibly stateful) decision function from per-app observations to
+ * one way mask per app.
+ *
+ * Invariants every decide() result must satisfy (locked down by
+ * tests/test_partitioner.cc):
+ *
+ *  - one mask per observed app, in input order;
+ *  - no mask is empty (an app that cannot allocate anywhere livelocks);
+ *  - the union of all masks covers every way of the LLC (no way is
+ *    stranded unreachable);
+ *  - masks only overlap within a deliberately shared partition (the
+ *    shared policy, or an LFOC cluster) — dedicated allocations are
+ *    disjoint.
+ */
+
+#ifndef CAPART_CORE_PARTITIONER_HH
+#define CAPART_CORE_PARTITIONER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/way_mask.hh"
+
+namespace capart
+{
+
+/**
+ * One application's observed behaviour at a decision point — the
+ * N-app analogue of the paper's per-window MPKI telemetry, extended
+ * with the offline miss-rate curve UCP-style policies consume.
+ */
+struct AppObservation
+{
+    AppId id = 0;
+    /** The app carries a responsiveness SLO (reporting only; policies
+     *  classify from behaviour, never from this label). */
+    bool latencySensitive = false;
+    /** LLC misses per kilo-instruction (smoothed over recent windows). */
+    double mpki = 0.0;
+    /** LLC accesses per kilo-instruction. */
+    double apki = 0.0;
+    double ipc = 0.0;
+    /**
+     * missCurve[w] = expected LLC misses per kilo-instruction when the
+     * app owns w ways, for w = 0..totalWays (index 0: no cache at all,
+     * every access misses). Produced by @ref profileMissCurve from the
+     * exact LRU stack-distance profile (analysis/mrc). Empty when no
+     * profile is available; curve-driven policies then fall back to a
+     * fair split.
+     */
+    std::vector<double> missCurve;
+
+    /** missCurve[w] clamped to the last profiled point. */
+    double
+    curveAt(unsigned w) const
+    {
+        if (missCurve.empty())
+            return 0.0;
+        const std::size_t i = w < missCurve.size()
+                                  ? w
+                                  : missCurve.size() - 1;
+        return missCurve[i];
+    }
+};
+
+/** Allocation policies available on the N-app path. */
+enum class NPolicy
+{
+    Shared,  //!< unpartitioned: everyone replaces anywhere
+    Fair,    //!< even static split across all apps
+    Biased,  //!< app 0 gets a precomputed allocation, rest split fairly
+    Dynamic, //!< Algorithm 6.2: app 0 foreground, rest share complement
+    Ucp,     //!< utility-based allocation with lookahead (UCP)
+    Lfoc     //!< light/streaming/sensitive clustering (LFOC-style)
+};
+
+inline constexpr unsigned kNumNPolicies = 6;
+
+const char *npolicyName(NPolicy p);
+
+/** Bit for @p p in N-app policy bitmasks (experiment specs). */
+constexpr unsigned
+npolicyBit(NPolicy p)
+{
+    return 1u << static_cast<unsigned>(p);
+}
+
+/** Stateless-or-stateful allocation policy over N co-running apps. */
+class Partitioner
+{
+  public:
+    virtual ~Partitioner() = default;
+
+    /** Stable policy name (table/ledger encoding). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Decide one way mask per app for the next decision window.
+     * @p apps is never empty; @p total_ways is the LLC associativity.
+     * Stateful policies (LFOC way bouncing) may return different masks
+     * on successive calls with identical inputs.
+     */
+    virtual std::vector<WayMask> decide(
+        const std::vector<AppObservation> &apps, unsigned total_ways) = 0;
+};
+
+/**
+ * The fair N-way split every policy falls back to: contiguous chunks
+ * of total_ways / n ways (the first total_ways % n apps get one way
+ * more). With more apps than ways, apps share single-way partitions
+ * (app i gets way i * total_ways / num_apps), keeping every mask
+ * non-empty and every way covered.
+ */
+std::vector<WayMask> fairMasks(std::size_t num_apps, unsigned total_ways);
+
+/** No partitioning: every app may replace into every way. */
+class SharedPartitioner : public Partitioner
+{
+  public:
+    const char *name() const override { return "shared"; }
+    std::vector<WayMask> decide(const std::vector<AppObservation> &apps,
+                                unsigned total_ways) override;
+};
+
+/** Even static split (the paper's fair policy generalized to N). */
+class FairPartitioner : public Partitioner
+{
+  public:
+    const char *name() const override { return "fair"; }
+    std::vector<WayMask> decide(const std::vector<AppObservation> &apps,
+                                unsigned total_ways) override;
+};
+
+/**
+ * The paper's biased policy ported to N apps: app 0 (the foreground)
+ * keeps a precomputed allocation — the oracle search result on the
+ * pairwise path — and the remaining apps split the complement fairly.
+ * At N = 2 this reproduces splitWays(fg_ways, total) bit-for-bit.
+ */
+class BiasedPartitioner : public Partitioner
+{
+  public:
+    explicit BiasedPartitioner(unsigned fg_ways);
+
+    const char *name() const override { return "biased"; }
+    std::vector<WayMask> decide(const std::vector<AppObservation> &apps,
+                                unsigned total_ways) override;
+
+    unsigned fgWays() const { return fgWays_; }
+
+  private:
+    unsigned fgWays_;
+};
+
+} // namespace capart
+
+#endif // CAPART_CORE_PARTITIONER_HH

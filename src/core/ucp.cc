@@ -1,0 +1,110 @@
+#include "core/ucp.hh"
+
+#include <cassert>
+#include <cstddef>
+
+namespace capart
+{
+namespace
+{
+
+/** curves[i] evaluated at w ways, clamped to the last profiled point. */
+double
+curveAt(const std::vector<double> &curve, unsigned w)
+{
+    if (curve.empty())
+        return 0.0;
+    const std::size_t i =
+        w < curve.size() ? w : curve.size() - 1;
+    return curve[i];
+}
+
+} // namespace
+
+std::vector<unsigned>
+ucpAllocate(const std::vector<std::vector<double>> &curves,
+            unsigned total_ways)
+{
+    const std::size_t n = curves.size();
+    assert(n >= 1 && n <= total_ways);
+
+    std::vector<unsigned> alloc(n, 1);
+    unsigned remaining = total_ways - static_cast<unsigned>(n);
+    while (remaining > 0) {
+        // The lookahead step: the winning move is the (app, block)
+        // pair with the highest misses-saved per way. Strict >
+        // comparisons with ascending scan order make ties
+        // deterministic: lowest app index first, then the smallest
+        // block (which on concave curves reduces this to the exactly
+        // optimal unit-greedy algorithm).
+        std::size_t best_app = 0;
+        unsigned best_block = 1;
+        double best_rate = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double here = curveAt(curves[i], alloc[i]);
+            for (unsigned k = 1; k <= remaining; ++k) {
+                const double gain =
+                    here - curveAt(curves[i], alloc[i] + k);
+                const double rate = gain / k;
+                if (rate > best_rate) {
+                    best_rate = rate;
+                    best_app = i;
+                    best_block = k;
+                }
+            }
+        }
+        if (best_rate <= 0.0) {
+            // No block saves any misses: park the leftover ways on the
+            // least-allocated app (lowest index on ties) so the sum
+            // invariant — and mask coverage downstream — still holds.
+            std::size_t least = 0;
+            for (std::size_t i = 1; i < n; ++i) {
+                if (alloc[i] < alloc[least])
+                    least = i;
+            }
+            alloc[least] += 1;
+            remaining -= 1;
+            continue;
+        }
+        alloc[best_app] += best_block;
+        remaining -= best_block;
+    }
+    return alloc;
+}
+
+double
+ucpCost(const std::vector<std::vector<double>> &curves,
+        const std::vector<unsigned> &alloc)
+{
+    assert(curves.size() == alloc.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < curves.size(); ++i)
+        total += curveAt(curves[i], alloc[i]);
+    return total;
+}
+
+std::vector<WayMask>
+UcpPartitioner::decide(const std::vector<AppObservation> &apps,
+                       unsigned total_ways)
+{
+    if (apps.size() > total_ways)
+        return fairMasks(apps.size(), total_ways);
+    std::vector<std::vector<double>> curves;
+    curves.reserve(apps.size());
+    for (const AppObservation &a : apps) {
+        if (a.missCurve.empty())
+            return fairMasks(apps.size(), total_ways);
+        curves.push_back(a.missCurve);
+    }
+    const std::vector<unsigned> alloc = ucpAllocate(curves, total_ways);
+    std::vector<WayMask> masks;
+    masks.reserve(apps.size());
+    unsigned first = 0;
+    for (const unsigned ways : alloc) {
+        masks.push_back(WayMask::range(first, ways));
+        first += ways;
+    }
+    return masks;
+}
+
+} // namespace capart

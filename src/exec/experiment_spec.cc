@@ -17,6 +17,8 @@ kindName(SpecKind k)
         return "pair";
       case SpecKind::Consolidation:
         return "consol";
+      case SpecKind::NApp:
+        return "napp";
     }
     return "?";
 }
@@ -48,6 +50,15 @@ ExperimentSpec::canonical() const
     s += "|policies=" + std::to_string(policies);
     s += "|scale=" + hexDouble(scale);
     s += "|window=" + hexDouble(perfWindow);
+    // NApp fields are appended only for NApp specs: the legacy kinds'
+    // encodings — and therefore their hashes, derived seeds, and every
+    // pinned golden number — must stay byte-identical.
+    if (kind == SpecKind::NApp) {
+        s += "|napps=" + napps;
+        s += "|cores=" + std::to_string(cores);
+        s += "|llcways=" + std::to_string(llcWays);
+        s += "|npolicies=" + std::to_string(npolicies);
+    }
     return s;
 }
 
@@ -103,6 +114,47 @@ consolidationSpec(const std::string &fg, const std::string &bg,
     s.scale = scale;
     s.perfWindow = perf_window;
     return s;
+}
+
+ExperimentSpec
+nappSpec(const std::vector<std::string> &apps, unsigned cores,
+         unsigned llc_ways, unsigned npolicies, unsigned threads_each,
+         double scale, double perf_window)
+{
+    ExperimentSpec s;
+    s.kind = SpecKind::NApp;
+    std::string joined;
+    for (const std::string &a : apps) {
+        if (!joined.empty())
+            joined += ',';
+        joined += a;
+    }
+    s.napps = std::move(joined);
+    s.cores = cores;
+    s.llcWays = llc_ways;
+    s.npolicies = npolicies;
+    s.threads = threads_each;
+    s.scale = scale;
+    s.perfWindow = perf_window;
+    return s;
+}
+
+std::vector<std::string>
+splitAppList(const std::string &napps)
+{
+    std::vector<std::string> names;
+    std::size_t start = 0;
+    while (start <= napps.size()) {
+        const std::size_t comma = napps.find(',', start);
+        if (comma == std::string::npos) {
+            if (start < napps.size())
+                names.push_back(napps.substr(start));
+            break;
+        }
+        names.push_back(napps.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return names;
 }
 
 } // namespace capart::exec

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/static_policies.hh"
 
@@ -27,7 +28,8 @@ enum class SpecKind
 {
     Solo,          //!< one app alone (runSolo)
     Pair,          //!< fg + bg co-run (runPair)
-    Consolidation  //!< fg + bg under one or more policies (CoScheduler)
+    Consolidation, //!< fg + bg under one or more policies (CoScheduler)
+    NApp           //!< N-app mix under one or more NPolicy values (NAppStudy)
 };
 
 /** Bit for @p p in ExperimentSpec::policies. */
@@ -65,6 +67,19 @@ struct ExperimentSpec
     /** Consolidation only: OR of policyBit() values to evaluate. */
     unsigned policies = 0;
 
+    // ---- NApp only (encoded into canonical() only for NApp specs, so
+    // ---- every pre-existing spec hash — and hence every derived seed
+    // ---- and golden number — is unchanged) ---------------------------
+
+    /** Comma-joined catalog names; entry 0 is the foreground. */
+    std::string napps;
+    /** Cores of the nAppSystem machine. */
+    unsigned cores = 16;
+    /** LLC ways of the nAppSystem machine. */
+    unsigned llcWays = 20;
+    /** OR of npolicyBit() values to evaluate. */
+    unsigned npolicies = 0;
+
     /** Instruction-scale factor for both apps. */
     double scale = 1.0;
     /** Perf-window override in seconds; 0 = SystemConfig default. */
@@ -97,6 +112,13 @@ ExperimentSpec pairSpec(const std::string &fg, const std::string &bg,
 ExperimentSpec consolidationSpec(const std::string &fg,
                                  const std::string &bg, unsigned policies,
                                  double scale, double perf_window = 0.0);
+ExperimentSpec nappSpec(const std::vector<std::string> &apps,
+                        unsigned cores, unsigned llc_ways,
+                        unsigned npolicies, unsigned threads_each,
+                        double scale, double perf_window = 0.0);
+
+/** Split an NApp spec's comma-joined app list back into names. */
+std::vector<std::string> splitAppList(const std::string &napps);
 
 } // namespace capart::exec
 

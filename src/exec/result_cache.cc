@@ -17,9 +17,10 @@ namespace
 
 // v2 appends a per-line FNV-1a checksum (`c=<16 hex>`): a torn,
 // bit-flipped, or hand-mangled line fails verification and is
-// recomputed instead of poisoning a sweep. v1 files lack it and are
+// recomputed instead of poisoning a sweep. v3 extends each record with
+// the six NAppPolicyOutcome blocks. v1/v2 files lack fields and are
 // ignored wholesale (recompute beats wrong reuse).
-constexpr const char *kHeader = "# capart-sweep-cache v2";
+constexpr const char *kHeader = "# capart-sweep-cache v3";
 
 std::string
 hexDouble(double v)
@@ -69,6 +70,15 @@ allFinite(const SweepResult &r)
                 return false;
         }
     }
+    for (const NAppPolicyOutcome &p : r.napp) {
+        const double pv[] = {p.stp,        p.throughputIps,
+                             p.unfairness, p.fgSlowdown,
+                             p.socketEnergyJ, p.wallEnergyJ};
+        for (const double v : pv) {
+            if (!std::isfinite(v))
+                return false;
+        }
+    }
     return true;
 }
 
@@ -108,6 +118,26 @@ ResultCache::encode(const SweepResult &res)
         s += hexDouble(p.weightedSpeedup);
         s += ' ';
         s += std::to_string(p.fgWays);
+    }
+    for (const NAppPolicyOutcome &p : res.napp) {
+        s += ' ';
+        s += p.present ? '1' : '0';
+        s += ' ';
+        s += hexDouble(p.stp);
+        s += ' ';
+        s += hexDouble(p.throughputIps);
+        s += ' ';
+        s += hexDouble(p.unfairness);
+        s += ' ';
+        s += hexDouble(p.fgSlowdown);
+        s += ' ';
+        s += hexDouble(p.socketEnergyJ);
+        s += ' ';
+        s += hexDouble(p.wallEnergyJ);
+        s += ' ';
+        s += std::to_string(p.sloBreaches);
+        s += ' ';
+        s += std::to_string(p.remasks);
     }
     return s;
 }
@@ -153,6 +183,17 @@ ResultCache::decode(const std::string &body, SweepResult *out)
             !next_double(&p.energyVsSequential) ||
             !next_double(&p.wallEnergyVsSequential) ||
             !next_double(&p.weightedSpeedup) || !next_uint(&p.fgWays))
+            return false;
+        p.present = present != 0;
+    }
+    for (NAppPolicyOutcome &p : r.napp) {
+        unsigned present = 0;
+        if (!next_uint(&present) || !next_double(&p.stp) ||
+            !next_double(&p.throughputIps) ||
+            !next_double(&p.unfairness) || !next_double(&p.fgSlowdown) ||
+            !next_double(&p.socketEnergyJ) ||
+            !next_double(&p.wallEnergyJ) ||
+            !next_uint(&p.sloBreaches) || !next_uint(&p.remasks))
             return false;
         p.present = present != 0;
     }

@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "core/co_scheduler.hh"
+#include "core/napp.hh"
 #include "core/static_policies.hh"
 #include "exec/result_cache.hh"
 #include "exec/shard_supervisor.hh"
@@ -117,6 +118,45 @@ runSpec(const ExperimentSpec &spec, std::uint64_t base_seed)
         }
         break;
       }
+      case SpecKind::NApp: {
+        capart_assert(spec.npolicies != 0);
+        const std::vector<std::string> names = splitAppList(spec.napps);
+        capart_assert(!names.empty());
+        NAppStudyOptions so;
+        so.run.system = nAppSystem(spec.cores, spec.llcWays, seed);
+        so.run.scale = spec.scale;
+        if (spec.perfWindow > 0.0)
+            so.run.system.perfWindow = spec.perfWindow;
+        std::vector<NAppMember> members;
+        members.reserve(names.size());
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            NAppMember m;
+            m.params = Catalog::byName(names[i]);
+            m.threads = spec.threads;
+            m.continuous = i != 0; // app 0 is the foreground
+            members.push_back(std::move(m));
+        }
+        NAppStudy study(std::move(members), so);
+        for (unsigned p = 0; p < kNumNPolicies; ++p) {
+            const NPolicy policy = static_cast<NPolicy>(p);
+            if (!(spec.npolicies & npolicyBit(policy)))
+                continue;
+            obs::TraceSpan policy_span(npolicyName(policy), "sweep");
+            const NAppPolicySummary s = study.summarize(policy);
+            NAppPolicyOutcome &po = out.napp[p];
+            po.present = true;
+            po.stp = s.stp;
+            po.throughputIps = s.throughputIps;
+            po.unfairness = s.unfairness;
+            po.fgSlowdown = s.fgSlowdown;
+            po.socketEnergyJ = s.socketEnergyJ;
+            po.wallEnergyJ = s.wallEnergyJ;
+            po.sloBreaches = s.sloBreaches;
+            po.remasks = static_cast<unsigned>(s.remasks);
+            out.timedOut = out.timedOut || s.timedOut;
+        }
+        break;
+      }
     }
     return out;
 }
@@ -174,6 +214,22 @@ pointRecord(const SweepRunnerOptions &opts, const ExperimentSpec &spec,
         m.emplace_back(prefix + ".weighted_speedup", po.weightedSpeedup);
         m.emplace_back(prefix + ".fg_ways",
                        static_cast<double>(po.fgWays));
+    }
+    for (unsigned p = 0; p < kNumNPolicies; ++p) {
+        const NAppPolicyOutcome &po = r.napp[p];
+        if (!po.present)
+            continue;
+        const std::string prefix = npolicyName(static_cast<NPolicy>(p));
+        m.emplace_back(prefix + ".stp", po.stp);
+        m.emplace_back(prefix + ".throughput_ips", po.throughputIps);
+        m.emplace_back(prefix + ".unfairness", po.unfairness);
+        m.emplace_back(prefix + ".fg_slowdown", po.fgSlowdown);
+        m.emplace_back(prefix + ".socket_energy_j", po.socketEnergyJ);
+        m.emplace_back(prefix + ".wall_energy_j", po.wallEnergyJ);
+        m.emplace_back(prefix + ".slo_breaches",
+                       static_cast<double>(po.sloBreaches));
+        m.emplace_back(prefix + ".remasks",
+                       static_cast<double>(po.remasks));
     }
     // Headline cross-policy ratios (Figs. 9/13): how close dynamic and
     // shared come to the biased oracle's background throughput, and

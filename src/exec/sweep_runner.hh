@@ -54,6 +54,27 @@ struct PolicyOutcome
     unsigned fgWays = 0;
 };
 
+/** Per-policy metrics of an NApp spec (NAppStudy summary). */
+struct NAppPolicyOutcome
+{
+    /** False when the spec did not request this policy. */
+    bool present = false;
+    /** System throughput: sum of per-app speedups vs solo. */
+    double stp = 0.0;
+    /** Aggregate instructions per second across the mix. */
+    double throughputIps = 0.0;
+    /** max slowdown / min slowdown (1 = perfectly fair). */
+    double unfairness = 1.0;
+    /** App 0's slowdown vs running alone on the machine. */
+    double fgSlowdown = 1.0;
+    double socketEnergyJ = 0.0;
+    double wallEnergyJ = 0.0;
+    /** Apps whose slowdown exceeds the study's SLO threshold. */
+    unsigned sloBreaches = 0;
+    /** Mask installations after the initial decision. */
+    unsigned remasks = 0;
+};
+
 /** Flat, serializable outcome of one spec. */
 struct SweepResult
 {
@@ -69,6 +90,8 @@ struct SweepResult
     bool timedOut = false;
     /** Consolidation only; indexed by static_cast<int>(Policy). */
     PolicyOutcome policy[4];
+    /** NApp only; indexed by static_cast<int>(NPolicy). */
+    NAppPolicyOutcome napp[6];
 
     /** True when this result came from the memoization cache (not
      *  serialized; diagnostic only). */

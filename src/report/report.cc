@@ -103,12 +103,15 @@ metricDirection(const std::string &name)
     if (endsWith(name, "fg_slowdown") || endsWith(name, "time_s") ||
         endsWith(name, "_energy_j") || endsWith(name, "energy_vs_seq") ||
         endsWith(name, "mpki") || endsWith(name, "apki") ||
-        endsWith(name, "fg_delta_vs_biased") || endsWith(name, "timed_out"))
+        endsWith(name, "fg_delta_vs_biased") ||
+        endsWith(name, "timed_out") || endsWith(name, "unfairness") ||
+        endsWith(name, "slo_breaches"))
         return 1;
     // Higher is better: throughput, IPC, and speedup figures —
-    // including host simulation throughput (bench_micro_simulator).
+    // including host simulation throughput (bench_micro_simulator) and
+    // the N-app system-throughput metric.
     if (endsWith(name, "throughput_ips") || endsWith(name, "ipc") ||
-        endsWith(name, "weighted_speedup") ||
+        endsWith(name, "weighted_speedup") || endsWith(name, "stp") ||
         endsWith(name, "bg_vs_biased") || endsWith(name, "accesses_per_s"))
         return -1;
     // Neutral diagnostics (way counts and anything unrecognized):

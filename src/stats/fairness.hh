@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Multi-app fairness and throughput metrics.
+ *
+ * The N-app benches report the metrics the LFOC line of work uses
+ * (PAPERS.md): per-app slowdown against a solo baseline, the
+ * *unfairness* ratio max slowdown / min slowdown (1.0 = perfectly
+ * fair), and system throughput STP = sum of per-app speedups (N =
+ * every app at solo speed). Hand-computed fixtures in
+ * tests/test_stats.cc pin the definitions.
+ */
+
+#ifndef CAPART_STATS_FAIRNESS_HH
+#define CAPART_STATS_FAIRNESS_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace capart
+{
+
+/**
+ * Unfairness of a co-schedule: max_i slowdown_i / min_i slowdown_i,
+ * where slowdown_i = (solo throughput) / (co-run throughput) of app i.
+ * 1.0 means every app degrades equally; bigger is less fair.
+ * @p slowdowns must be non-empty and strictly positive.
+ */
+inline double
+unfairness(const std::vector<double> &slowdowns)
+{
+    capart_assert(!slowdowns.empty());
+    const auto [lo, hi] =
+        std::minmax_element(slowdowns.begin(), slowdowns.end());
+    capart_assert(*lo > 0.0);
+    return *hi / *lo;
+}
+
+/**
+ * System throughput (STP): sum over apps of 1 / slowdown_i — the
+ * aggregate rate of progress in units of "solo apps' worth of work".
+ */
+inline double
+systemThroughput(const std::vector<double> &slowdowns)
+{
+    capart_assert(!slowdowns.empty());
+    double stp = 0.0;
+    for (const double s : slowdowns) {
+        capart_assert(s > 0.0);
+        stp += 1.0 / s;
+    }
+    return stp;
+}
+
+} // namespace capart
+
+#endif // CAPART_STATS_FAIRNESS_HH

@@ -742,6 +742,43 @@ Catalog::bySuite(Suite suite)
     return out;
 }
 
+std::vector<AppParams>
+Catalog::nAppMix(std::size_t n, unsigned variant)
+{
+    capart_assert(n >= 1);
+    // Rosters by LFOC class: steep miss curves (sensitive), high-MPKI
+    // capacity-insensitive codes (streaming), and low-MPKI codes
+    // (light). Drawn from the paper's Table 2 utility classes.
+    static const std::array<std::string_view, 5> sensitive = {
+        "429.mcf", "fop", "471.omnetpp", "473.astar", "canneal"};
+    static const std::array<std::string_view, 5> streaming = {
+        "470.lbm", "462.libquantum", "459.GemsFDTD", "streamcluster",
+        "450.soplex"};
+    static const std::array<std::string_view, 5> light = {
+        "ferret", "batik", "swaptions", "453.povray", "blackscholes"};
+
+    std::vector<AppParams> mix;
+    mix.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t klass = (i + variant) % 3;
+        const std::size_t pick = (i / 3 + variant) % sensitive.size();
+        std::string_view name;
+        switch (klass) {
+          case 0:
+            name = sensitive[pick];
+            break;
+          case 1:
+            name = streaming[pick];
+            break;
+          default:
+            name = light[pick];
+            break;
+        }
+        mix.push_back(byName(name));
+    }
+    return mix;
+}
+
 const std::array<std::string_view, 6> &
 Catalog::clusterRepresentatives()
 {

@@ -45,6 +45,15 @@ class Catalog
      */
     static const std::array<std::string_view, 6> &clusterRepresentatives();
 
+    /**
+     * A deterministic @p n-app consolidation mix for the N-app benches:
+     * interleaves cache-sensitive, streaming, and light applications so
+     * every mix exercises all three LFOC classes. @p variant rotates
+     * the starting point, giving distinct-but-reproducible mixes.
+     */
+    static std::vector<AppParams> nAppMix(std::size_t n,
+                                          unsigned variant = 0);
+
     /** Expected number of catalog entries. */
     static constexpr std::size_t kNumApps = 45;
 };

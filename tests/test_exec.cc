@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "core/partitioner.hh"
 #include "exec/experiment_spec.hh"
 #include "exec/result_cache.hh"
 #include "exec/sweep_runner.hh"
@@ -153,6 +154,54 @@ TEST(Seeding, SpecHashCoversEveryField)
     EXPECT_NE(m.hash(), base.hash());
 }
 
+TEST(Seeding, NAppSpecHashCoversItsFields)
+{
+    const std::vector<std::string> apps{"429.mcf", "470.lbm", "ferret"};
+    const ExperimentSpec base = nappSpec(apps, 16, 20, 0x3, 2, 0.04);
+    EXPECT_EQ(base.hash(), nappSpec(apps, 16, 20, 0x3, 2, 0.04).hash());
+
+    ExperimentSpec m = base;
+    m.napps = "429.mcf,470.lbm";
+    EXPECT_NE(m.hash(), base.hash());
+    m = base;
+    m.cores = 8;
+    EXPECT_NE(m.hash(), base.hash());
+    m = base;
+    m.llcWays = 12;
+    EXPECT_NE(m.hash(), base.hash());
+    m = base;
+    m.npolicies = 0x7;
+    EXPECT_NE(m.hash(), base.hash());
+}
+
+TEST(Seeding, LegacySpecEncodingsUnchangedByNAppFields)
+{
+    // The NApp fields ride on the same struct but must be encoded only
+    // for NApp specs: every pre-existing spec kind keeps its canonical
+    // string — and therefore its hash, derived seed, cache keys, and
+    // golden values — byte for byte.
+    const ExperimentSpec solo = soloSpec("ferret", 4, 12, 0.05);
+    EXPECT_EQ(solo.canonical().find("napps="), std::string::npos);
+    EXPECT_EQ(solo.canonical().find("npolicies="), std::string::npos);
+    ExperimentSpec mutated = solo;
+    mutated.cores = 64; // not part of a solo spec's identity
+    mutated.npolicies = 0x3f;
+    EXPECT_EQ(mutated.canonical(), solo.canonical());
+
+    const ExperimentSpec napp =
+        nappSpec({"ferret", "429.mcf"}, 16, 20, 0x3, 2, 0.04);
+    EXPECT_NE(napp.canonical().find("napps=ferret,429.mcf"),
+              std::string::npos);
+}
+
+TEST(Seeding, SplitAppListRoundTrips)
+{
+    const std::vector<std::string> apps{"a", "bb", "ccc"};
+    const ExperimentSpec spec = nappSpec(apps, 4, 8, 0x1, 2, 0.02);
+    EXPECT_EQ(splitAppList(spec.napps), apps);
+    EXPECT_EQ(splitAppList("solo"), std::vector<std::string>{"solo"});
+}
+
 // --------------------------------------------------------------- cache
 
 bool
@@ -174,6 +223,18 @@ sameResult(const SweepResult &a, const SweepResult &b)
             x.fgWays != y.fgWays)
             return false;
     }
+    for (int p = 0; p < 6; ++p) {
+        const NAppPolicyOutcome &x = a.napp[p];
+        const NAppPolicyOutcome &y = b.napp[p];
+        if (x.present != y.present || x.stp != y.stp ||
+            x.throughputIps != y.throughputIps ||
+            x.unfairness != y.unfairness ||
+            x.fgSlowdown != y.fgSlowdown ||
+            x.socketEnergyJ != y.socketEnergyJ ||
+            x.wallEnergyJ != y.wallEnergyJ ||
+            x.sloBreaches != y.sloBreaches || x.remasks != y.remasks)
+            return false;
+    }
     return true;
 }
 
@@ -192,6 +253,15 @@ TEST(ResultCache, EncodeDecodeRoundTripsBitExactly)
     r.policy[2].fgSlowdown = 1.0 + 1e-15;
     r.policy[2].weightedSpeedup = 1.9999999999999998;
     r.policy[2].fgWays = 9;
+    r.napp[4].present = true;
+    r.napp[4].stp = 5.4321098765432101;
+    r.napp[4].throughputIps = 1.3e10;
+    r.napp[4].unfairness = 1.0 + 1e-14;
+    r.napp[4].fgSlowdown = 2.0 - 1e-15;
+    r.napp[4].socketEnergyJ = 1e-200;
+    r.napp[4].wallEnergyJ = 0.25;
+    r.napp[4].sloBreaches = 7;
+    r.napp[4].remasks = 123456;
 
     SweepResult back;
     ASSERT_TRUE(ResultCache::decode(ResultCache::encode(r), &back));
@@ -523,6 +593,36 @@ TEST(DeterminismAudit, RunSpecInvariantToPriorSpecs)
 
     const SweepResult again = runSpec(probe, 12345);
     EXPECT_TRUE(sameResult(fresh, again));
+}
+
+TEST(DeterminismAudit, NAppSpecRunsDeterministicallyAndRoundTrips)
+{
+    // A small 3-app point under two policies: determinism across
+    // repeats and interleaved foreign specs, plus a bit-exact pass
+    // through the on-disk cache encoding.
+    const ExperimentSpec probe =
+        nappSpec({"429.mcf", "470.lbm", "ferret"}, 4, 8,
+                 npolicyBit(NPolicy::Fair) | npolicyBit(NPolicy::Lfoc),
+                 2, 0.02);
+    const SweepResult fresh = runSpec(probe, 12345);
+    for (int p = 0; p < 6; ++p) {
+        const bool expect_present =
+            static_cast<NPolicy>(p) == NPolicy::Fair ||
+            static_cast<NPolicy>(p) == NPolicy::Lfoc;
+        EXPECT_EQ(fresh.napp[p].present, expect_present) << p;
+    }
+    EXPECT_GT(fresh.napp[static_cast<int>(NPolicy::Fair)].stp, 0.0);
+    EXPECT_GE(fresh.napp[static_cast<int>(NPolicy::Lfoc)].unfairness,
+              1.0);
+
+    runSpec(soloSpec("canneal", 4, 6, kTestScale), 12345);
+    const SweepResult again = runSpec(probe, 12345);
+    EXPECT_TRUE(sameResult(fresh, again));
+
+    SweepResult decoded;
+    ASSERT_TRUE(
+        ResultCache::decode(ResultCache::encode(fresh), &decoded));
+    EXPECT_TRUE(sameResult(fresh, decoded));
 }
 
 } // namespace

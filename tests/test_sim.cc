@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/napp.hh"
+#include "core/static_policies.hh"
 #include "sim/experiment.hh"
 #include "sim/system.hh"
 #include "workload/catalog.hh"
@@ -267,6 +269,135 @@ TEST(Experiment, SplitWaysDisjointAndComplete)
         EXPECT_EQ((m.fg & m.bg).count(), 0u);
         EXPECT_EQ((m.fg | m.bg), WayMask::all(12));
     }
+}
+
+// ---------------------------------------------------------------------
+// N = 2 differential: the N-app path must reproduce the legacy
+// foreground/background pair path bit for bit for every ported policy.
+// Same machine, same pinning, same mask-install sequence — if any of
+// those drifts, these comparisons break before any bench notices.
+// ---------------------------------------------------------------------
+
+void
+expectBitIdentical(const PairResult &legacy, const NAppRunResult &napp,
+                   const char *what)
+{
+    ASSERT_EQ(napp.apps.size(), 2u) << what;
+    const AppRunStats *legacy_apps[] = {&legacy.fg, &legacy.bg};
+    for (int i = 0; i < 2; ++i) {
+        const AppRunStats &a = *legacy_apps[i];
+        const AppRunStats &b = napp.apps[i];
+        EXPECT_EQ(a.completed, b.completed) << what << " app " << i;
+        EXPECT_EQ(a.iterations, b.iterations) << what << " app " << i;
+        EXPECT_EQ(a.retired, b.retired) << what << " app " << i;
+        EXPECT_EQ(a.cycles, b.cycles) << what << " app " << i;
+        EXPECT_EQ(a.llcAccesses, b.llcAccesses) << what << " app " << i;
+        EXPECT_EQ(a.llcMisses, b.llcMisses) << what << " app " << i;
+        EXPECT_EQ(a.dramReads, b.dramReads) << what << " app " << i;
+        EXPECT_EQ(a.dramWrites, b.dramWrites) << what << " app " << i;
+        EXPECT_DOUBLE_EQ(a.completionTime, b.completionTime)
+            << what << " app " << i;
+        EXPECT_DOUBLE_EQ(a.throughputIps, b.throughputIps)
+            << what << " app " << i;
+    }
+    EXPECT_DOUBLE_EQ(legacy.fgTime, napp.fgTime) << what;
+    EXPECT_DOUBLE_EQ(legacy.socketEnergy, napp.socketEnergy) << what;
+    EXPECT_DOUBLE_EQ(legacy.wallEnergy, napp.wallEnergy) << what;
+    EXPECT_EQ(legacy.timedOut, napp.timedOut) << what;
+}
+
+std::vector<NAppMember>
+pairAsMembers(const AppParams &fg, const AppParams &bg)
+{
+    NAppMember m0;
+    m0.params = fg;
+    m0.threads = 4;
+    m0.continuous = false;
+    NAppMember m1;
+    m1.params = bg;
+    m1.threads = 4;
+    m1.continuous = true;
+    return {m0, m1};
+}
+
+TEST(NAppDifferential, SharedMatchesLegacyPair)
+{
+    const AppParams &fg = Catalog::byName("471.omnetpp");
+    const AppParams &bg = Catalog::byName("streamcluster");
+    PairOptions po;
+    po.scale = kTestScale;
+    const PairResult legacy = runPair(fg, bg, po);
+
+    NAppOptions no;
+    no.scale = kTestScale;
+    const NAppRunResult napp =
+        runNApp(pairAsMembers(fg, bg), NPolicy::Shared, no);
+    expectBitIdentical(legacy, napp, "shared");
+}
+
+TEST(NAppDifferential, FairMatchesLegacyPair)
+{
+    const AppParams &fg = Catalog::byName("canneal");
+    const AppParams &bg = Catalog::byName("470.lbm");
+    PairOptions po;
+    po.scale = kTestScale;
+    const SplitMasks m = policyMasks(Policy::Fair, 12);
+    po.fgMask = m.fg;
+    po.bgMask = m.bg;
+    const PairResult legacy = runPair(fg, bg, po);
+
+    NAppOptions no;
+    no.scale = kTestScale;
+    const NAppRunResult napp =
+        runNApp(pairAsMembers(fg, bg), NPolicy::Fair, no);
+    expectBitIdentical(legacy, napp, "fair");
+}
+
+TEST(NAppDifferential, BiasedMatchesLegacyPairAtEveryWidth)
+{
+    const AppParams &fg = Catalog::byName("429.mcf");
+    const AppParams &bg = Catalog::byName("462.libquantum");
+    for (const unsigned fg_ways : {3u, 8u}) {
+        PairOptions po;
+        po.scale = kTestScale;
+        const SplitMasks m = splitWays(fg_ways, 12);
+        po.fgMask = m.fg;
+        po.bgMask = m.bg;
+        const PairResult legacy = runPair(fg, bg, po);
+
+        NAppOptions no;
+        no.scale = kTestScale;
+        no.biasedFgWays = fg_ways;
+        const NAppRunResult napp =
+            runNApp(pairAsMembers(fg, bg), NPolicy::Biased, no);
+        expectBitIdentical(legacy, napp, "biased");
+    }
+}
+
+TEST(NAppDifferential, DynamicMatchesLegacyPair)
+{
+    const AppParams &fg = Catalog::byName("471.omnetpp");
+    const AppParams &bg = Catalog::byName("streamcluster");
+
+    PairOptions po;
+    po.scale = kTestScale;
+    const SplitMasks m = policyMasks(Policy::Dynamic, 12);
+    po.fgMask = m.fg;
+    po.bgMask = m.bg;
+    DynamicPartitionerConfig dc;
+    DynamicPartitioner ctrl(AppId{0}, std::vector<AppId>{1}, dc);
+    po.controller = &ctrl;
+    const PairResult legacy = runPair(fg, bg, po);
+
+    NAppOptions no;
+    no.scale = kTestScale;
+    // autoScaleDynamic resolves maxFgWays to 12 - 1 = 11 on the stock
+    // machine — the same ceiling the legacy config hard-codes, so the
+    // two controllers walk identical trajectories.
+    const NAppRunResult napp =
+        runNApp(pairAsMembers(fg, bg), NPolicy::Dynamic, no);
+    expectBitIdentical(legacy, napp, "dynamic");
+    EXPECT_EQ(ctrl.reallocations(), napp.remasks);
 }
 
 } // namespace

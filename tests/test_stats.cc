@@ -9,6 +9,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "stats/fairness.hh"
 #include "stats/rate_window.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
@@ -68,6 +69,28 @@ TEST(Summary, WeightedSpeedupDefinition)
     EXPECT_DOUBLE_EQ(weightedSpeedup({10.0, 10.0}, {10.0, 10.0}), 2.0);
     // Co-run stretches one app to 20 s: no gain.
     EXPECT_DOUBLE_EQ(weightedSpeedup({10.0, 10.0}, {20.0, 5.0}), 1.0);
+}
+
+TEST(Fairness, UnfairnessIsMaxOverMinSlowdown)
+{
+    // Perfectly fair: everyone slows by the same factor.
+    EXPECT_DOUBLE_EQ(unfairness({1.5, 1.5, 1.5}), 1.0);
+    // One app at 2x, one at 1.25x: 2 / 1.25 = 1.6.
+    EXPECT_DOUBLE_EQ(unfairness({2.0, 1.25}), 1.6);
+    // A speedup (slowdown < 1, e.g. less bandwidth contention than the
+    // solo baseline had) widens the ratio like any other spread.
+    EXPECT_DOUBLE_EQ(unfairness({0.5, 2.0}), 4.0);
+    EXPECT_DOUBLE_EQ(unfairness({3.0}), 1.0);
+}
+
+TEST(Fairness, SystemThroughputSumsSpeedups)
+{
+    // Every app at solo speed: STP = N.
+    EXPECT_DOUBLE_EQ(systemThroughput({1.0, 1.0, 1.0}), 3.0);
+    // Both apps halved: the machine does one app's worth of work.
+    EXPECT_DOUBLE_EQ(systemThroughput({2.0, 2.0}), 1.0);
+    // 1/2 + 1/4 = 0.75.
+    EXPECT_DOUBLE_EQ(systemThroughput({2.0, 4.0}), 0.75);
 }
 
 TEST(Table, AlignedAndCsvOutput)
