@@ -31,6 +31,7 @@
 #define CAPART_CORE_LFOC_HH
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "core/partitioner.hh"
@@ -100,6 +101,19 @@ class LfocPartitioner : public Partitioner
      * sensitive app against this target.
      */
     const std::vector<double> &lastTargets() const { return targets_; }
+    /**
+     * The fractional-way bounce accumulators after the last decide()
+     * call (empty before the first). Together with the observation
+     * vector this is the *complete* carried state of the policy, so a
+     * journaled decision replays on a fresh partitioner via
+     * restoreBounceError() (core/npartition_journal).
+     */
+    const std::vector<double> &bounceError() const { return err_; }
+    /** Restore accumulators captured by bounceError() (replay path). */
+    void restoreBounceError(std::vector<double> err)
+    {
+        err_ = std::move(err);
+    }
 
   private:
     LfocConfig cfg_;

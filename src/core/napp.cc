@@ -1,13 +1,19 @@
 #include "core/napp.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <memory>
+#include <string>
 
 #include "analysis/mrc.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "core/npartition_journal.hh"
 #include "core/ucp.hh"
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
 #include "sim/experiment.hh"
 #include "sim/system.hh"
 #include "stats/fairness.hh"
@@ -22,6 +28,46 @@ namespace
  *  controller's smoothing so both react on the same timescale). */
 constexpr double kMpkiSmoothing = 0.25;
 
+/** Record one decide() latency in the per-policy histogram (ns). */
+void
+recordDecideLatency(NPolicy policy,
+                    std::chrono::steady_clock::time_point t0)
+{
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    obs::metrics()
+        .histogram(std::string("napp.decide_ns.") + npolicyName(policy))
+        .record(static_cast<std::uint64_t>(ns));
+}
+
+/**
+ * Mark the start of one System run inside an N-app point's scope. A
+ * point's attribution scope spans many System runs (one per policy
+ * plus one solo baseline per app), each restarting simulated time at
+ * zero; these markers — one per run, in run order — let the dashboard
+ * segment the sample stream and label each segment with its policy
+ * ("solo" markers carry the app index).
+ */
+void
+journalNAppRunMarker(const char *rule, std::size_t num_apps,
+                     unsigned total_ways, double solo_app = -1.0)
+{
+    if (!obs::enabled())
+        return;
+    obs::JournalEntry e;
+    e.tUs = 0.0;
+    e.kind = "napp_run";
+    e.rule = rule;
+    e.fields.emplace_back("num_apps",
+                          static_cast<double>(num_apps));
+    e.fields.emplace_back("total_ways", total_ways);
+    if (solo_app >= 0.0)
+        e.fields.emplace_back("app", solo_app);
+    obs::timeseries().journal(std::move(e));
+}
+
 /**
  * Drives a @ref Partitioner online: folds each app's perf windows into
  * its observation and re-decides every @p every foreground windows,
@@ -30,12 +76,22 @@ constexpr double kMpkiSmoothing = 0.25;
 class NAppController final : public PartitionController
 {
   public:
-    NAppController(Partitioner *part, std::vector<AppObservation> obs,
-                   unsigned every, std::vector<WayMask> current)
-        : part_(part), obs_(std::move(obs)),
+    /**
+     * @p lfoc is @p part downcast when the policy carries bounce
+     * state (null otherwise); @p first_seq continues the decision
+     * ordinal sequence started by runNApp's up-front decision.
+     */
+    NAppController(Partitioner *part, LfocPartitioner *lfoc,
+                   NPolicy policy, const LfocConfig &lfoc_cfg,
+                   std::vector<AppObservation> obs, unsigned every,
+                   std::vector<WayMask> current, std::uint64_t first_seq)
+        : part_(part), lfoc_(lfoc), policy_(policy),
+          lfocCfg_(lfoc_cfg), obs_(std::move(obs)),
           every_(every > 0 ? every : 1), current_(std::move(current)),
-          seen_(obs_.size(), false)
+          seen_(obs_.size(), false), seq_(first_seq)
     {
+        if (lfoc_)
+            lastClasses_ = lfoc_->lastClasses();
     }
 
     void
@@ -56,13 +112,65 @@ class NAppController final : public PartitionController
         }
         if (app != 0 || ++fgWindows_ % every_ != 0)
             return;
-        const auto masks = part_->decide(obs_, sys.llcWays());
+        // Snapshot the complete decision inputs *before* decide()
+        // mutates the policy's carried state; recording never feeds
+        // back into the decision, so results stay bit-identical with
+        // observability on.
+        const bool rec = obs::enabled();
+        NPartitionInputs jin;
+        if (rec) {
+            jin.policy = policy_;
+            jin.totalWays = sys.llcWays();
+            jin.apps = obs_;
+            jin.lfoc = lfocCfg_;
+            if (lfoc_)
+                jin.lfocErrBefore = lfoc_->bounceError();
+        }
+        std::chrono::steady_clock::time_point t0{};
+        if (rec)
+            t0 = std::chrono::steady_clock::now();
+        std::vector<WayMask> masks;
+        {
+            obs::TraceSpan span("napp.decide", "partition");
+            masks = part_->decide(obs_, sys.llcWays());
+        }
+        if (rec) {
+            recordDecideLatency(policy_, t0);
+            NPartitionDecision jout;
+            jout.masks = masks;
+            if (lfoc_) {
+                jout.classes = lfoc_->lastClasses();
+                jout.targets = lfoc_->lastTargets();
+                jout.errAfter = lfoc_->bounceError();
+                for (std::size_t i = 0;
+                     i < jout.classes.size() && i < lastClasses_.size();
+                     ++i) {
+                    if (jout.classes[i] != lastClasses_[i])
+                        obs::tracer().instant(
+                            "lfoc.class_change", "partition",
+                            sys.now() * 1e6,
+                            {{"app", static_cast<double>(i)},
+                             {"class", static_cast<double>(
+                                           static_cast<int>(
+                                               jout.classes[i]))}});
+                }
+                lastClasses_ = jout.classes;
+            }
+            journalNPartitionDecision(sys.now() * 1e6, jin, jout,
+                                      seq_++, true);
+        }
         for (std::size_t i = 0; i < masks.size(); ++i) {
             if (masks[i] == current_[i])
                 continue;
             sys.setWayMask(obs_[i].id, masks[i]);
             current_[i] = masks[i];
             ++remasks_;
+            if (rec)
+                obs::tracer().instant(
+                    "napp.remask", "partition", sys.now() * 1e6,
+                    {{"app", static_cast<double>(i)},
+                     {"ways",
+                      static_cast<double>(masks[i].count())}});
         }
     }
 
@@ -70,12 +178,17 @@ class NAppController final : public PartitionController
 
   private:
     Partitioner *part_;
+    LfocPartitioner *lfoc_;
+    NPolicy policy_;
+    LfocConfig lfocCfg_;
     std::vector<AppObservation> obs_;
     unsigned every_;
     std::vector<WayMask> current_;
     std::vector<bool> seen_;
+    std::vector<AppClass> lastClasses_;
     std::uint64_t fgWindows_ = 0;
     std::uint64_t remasks_ = 0;
+    std::uint64_t seq_ = 0;
 };
 
 } // namespace
@@ -229,8 +342,55 @@ runNApp(const std::vector<NAppMember> &members, NPolicy policy,
         break;
       }
     }
-    if (part)
-        masks = part->decide(obs, total);
+    const bool rec = obs::enabled();
+    journalNAppRunMarker(npolicyName(policy), members.size(), total);
+    std::uint64_t seq = 0;
+    if (part) {
+        NPartitionInputs jin;
+        if (rec) {
+            jin.policy = policy;
+            jin.totalWays = total;
+            jin.apps = obs;
+            jin.lfoc = opts.lfoc;
+            if (policy == NPolicy::Biased)
+                jin.biasedFgWays =
+                    opts.biasedFgWays > 0 ? opts.biasedFgWays
+                                          : total / 2;
+            // A fresh LFOC carries no bounce state yet, so
+            // lfocErrBefore stays empty.
+        }
+        std::chrono::steady_clock::time_point t0{};
+        if (rec)
+            t0 = std::chrono::steady_clock::now();
+        {
+            obs::TraceSpan span("napp.decide", "partition");
+            masks = part->decide(obs, total);
+        }
+        if (rec) {
+            recordDecideLatency(policy, t0);
+            NPartitionDecision jout;
+            jout.masks = masks;
+            if (policy == NPolicy::Lfoc) {
+                auto *lp = static_cast<LfocPartitioner *>(part.get());
+                jout.classes = lp->lastClasses();
+                jout.targets = lp->lastTargets();
+                jout.errAfter = lp->bounceError();
+            }
+            journalNPartitionDecision(0.0, jin, jout, seq++, true);
+        }
+    } else if (rec && !masks.empty()) {
+        // Dynamic: journal the initial static split so every policy's
+        // starting allocation is replayable; the per-window control
+        // decisions go through the Algorithm 6.2 decision journal.
+        NPartitionInputs jin;
+        jin.policy = policy;
+        jin.totalWays = total;
+        jin.apps = obs;
+        jin.dynMaxFgWays = masks.front().count();
+        NPartitionDecision jout;
+        jout.masks = masks;
+        journalNPartitionDecision(0.0, jin, jout, seq++, true);
+    }
     capart_assert(masks.size() == members.size());
 
     // Installing an all-ways mask is a state no-op (the default), so
@@ -247,7 +407,8 @@ runNApp(const std::vector<NAppMember> &members, NPolicy policy,
         sys.setController(dyn.get());
     } else if (policy == NPolicy::Lfoc) {
         ctrl = std::make_unique<NAppController>(
-            part.get(), obs, opts.decisionWindows, masks);
+            part.get(), static_cast<LfocPartitioner *>(part.get()),
+            policy, opts.lfoc, obs, opts.decisionWindows, masks, seq);
         sys.setController(ctrl.get());
     }
 
@@ -284,6 +445,9 @@ NAppStudy::soloIps(std::size_t i)
 {
     capart_assert(i < members_.size());
     if (!soloIps_[i]) {
+        journalNAppRunMarker("solo", members_.size(),
+                             opts_.run.system.hierarchy.llc.ways,
+                             static_cast<double>(i));
         SoloOptions solo;
         solo.threads = members_[i].threads;
         solo.ways = opts_.run.system.hierarchy.llc.ways;

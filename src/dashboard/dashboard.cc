@@ -93,8 +93,10 @@ constexpr const char *kPageMiddle = R"HTML(</script>
 <div id="charts"></div>
 <h2>Partitioner decisions</h2>
 <p class="sub">One row per control decision, with the complete
-recorded inputs (hover a row for every field); rules are those of
-Algorithm 6.2 plus the watchdog's degradation rules.</p>
+recorded inputs (hover a row for every field). Pair points journal
+Algorithm 6.2 rules (plus the watchdog's degradation rules); N-app
+points journal one replayable record per Partitioner::decide, named
+by policy (shared / fair / ucp / lfoc / dynamic).</p>
 <div id="decisions"></div>
 <h2>Sweep points</h2>
 <div id="points"></div>
@@ -293,15 +295,45 @@ function decisions(batch) {
 function sloEntries(batch) {
     return (batch.journal || []).filter(e => e.kind === 'slo');
 }
+function nappDecisions(batch) {
+    return (batch.journal || [])
+        .filter(e => e.kind === 'npartition_decision');
+}
+// One marker per System run inside an N-app point's scope, in run
+// order (policies first-run order, then cached solo baselines).
+function nappRuns(batch) {
+    return (batch.journal || []).filter(e => e.kind === 'napp_run');
+}
+function isNApp(batch) {
+    return nappRuns(batch).length > 0 || nappDecisions(batch).length > 0;
+}
+
+// An N-app point's sample stream concatenates several System runs.
+// t_us is the sampling hardware thread's local time and jitters
+// between threads, but the quantum counter q is strictly increasing
+// within one System and restarts with it: split where q drops.
+function segmentSamples(samples) {
+    const segs = [];
+    let cur = [];
+    for (const s of samples) {
+        if (cur.length && s.q <= cur[cur.length - 1].q) {
+            segs.push(cur);
+            cur = [];
+        }
+        cur.push(s);
+    }
+    if (cur.length) segs.push(cur);
+    return segs;
+}
 
 // ---- chart sections ---------------------------------------------------
 
-function drawOccupancy(parent, batch) {
+function drawOccupancy(parent, batch, title) {
     const s = batch.samples;
     const ts = timesMs(s);
     const n = ownerCount(s);
     const ways = s.length ? s[0].llc_ways : 12;
-    const f = frame(parent, {title:
+    const f = frame(parent, {title: title ||
         'LLC way occupancy by owner (stacked) and allocated ways',
         xlab: 'time (ms)', ylab: 'ways',
         x0: ts[0], x1: ts[ts.length - 1], y0: 0, y1: ways});
@@ -318,6 +350,11 @@ function drawOccupancy(parent, batch) {
             marker(f, d.t_us / 1000, '#555',
                    d.rule + ': fg ' + fl.fg_ways + ' -> ' +
                    fl.target_fg_ways + ' ways');
+    }
+    for (const d of (batch.journal || [])) {
+        if (d.kind === 'npartition_decision' && (d.fields || {}).seq > 0)
+            marker(f, d.t_us / 1000, '#555',
+                   d.rule + ' re-decision #' + d.fields.seq);
     }
     const entries = [];
     for (let k = 0; k < n; k++)
@@ -436,7 +473,245 @@ function drawSlo(parent, batch) {
                     ['burn = 1 (budget-neutral)', '#999']]);
 }
 
+// ---- N-app view -------------------------------------------------------
+
+const classColors = ['#edc948', '#e15759', '#4e79a7'];
+const classNames = ['light', 'streaming', 'sensitive'];
+
+// Horizontal mini bar chart: one bar per policy, used by the
+// side-by-side comparison strip.
+function barChart(parent, title, labels, values) {
+    const ROW = 18;
+    const M = {l: 110, r: 60, t: 24, b: 6};
+    const W = 420, H = ROW * labels.length;
+    const svg = el('svg', {width: W, height: H + M.t + M.b,
+                           viewBox: '0 0 ' + W + ' ' + (H + M.t + M.b)},
+                   parent);
+    el('text', {x: 8, y: 15, class: 'ctitle'}, svg).textContent = title;
+    let vmax = 0;
+    for (const v of values)
+        if (isFinite(v)) vmax = Math.max(vmax, v);
+    const axis = el('g', {class: 'axis'}, svg);
+    for (let i = 0; i < labels.length; i++) {
+        const y = M.t + ROW * i;
+        el('text', {x: M.l - 6, y: y + 13, 'text-anchor': 'end'}, axis)
+            .textContent = labels[i];
+        const w = vmax > 0 ? (values[i] / vmax) * (W - M.l - M.r) : 0;
+        el('rect', {x: M.l, y: y + 4, width: Math.max(w, 1), height: 12,
+                    fill: ownerColors[i % ownerColors.length],
+                    'fill-opacity': 0.85}, svg);
+        el('text', {x: M.l + Math.max(w, 1) + 5, y: y + 13}, axis)
+            .textContent = fmt(values[i]);
+    }
+}
+
+// Side-by-side policy comparison from the point's embedded ledger
+// record: <policy>.stp / .unfairness / .socket_energy_j /
+// .slo_breaches, one bar per policy run in the same study.
+function drawPolicyStrip(parent, b, rules) {
+    const pt = points.find(p => p.spec_hash === b.spec_hash &&
+                                p.kind === 'point');
+    if (!pt || !rules.length) return;
+    const byName = pt.metrics || {};
+    const specs = [['stp', 'STP (sum of speedups)'],
+                   ['unfairness', 'Unfairness (max/min slowdown)'],
+                   ['socket_energy_j', 'Socket energy (J)'],
+                   ['slo_breaches', 'SLO breaches']];
+    for (const [key, title] of specs) {
+        const have = rules.filter(r =>
+            byName[r + '.' + key] !== undefined);
+        if (!have.length) continue;
+        barChart(parent, title, have,
+                 have.map(r => byName[r + '.' + key]));
+    }
+}
+
+// LFOC class-transition lane: one horizontal band per app, coloured
+// by the class each journaled decision assigned.
+function drawClassLane(parent, b, lds) {
+    let n = 0;
+    for (const e of lds) n = Math.max(n, e.fields.num_apps || 0);
+    if (!n) return;
+    const ts = lds.map(e => e.t_us / 1000);
+    const gap = ts.length > 1 ? ts[ts.length - 1] - ts[ts.length - 2]
+                              : 1;
+    const tEnd = ts[ts.length - 1] + (gap || 1);
+    const f = frame(parent, {title:
+        'LFOC class transitions (one lane per app)',
+        xlab: 'time (ms)', ylab: 'app', h: Math.max(18 * n, 60),
+        x0: ts[0], x1: tEnd, y0: 0, y1: n});
+    for (let i = 0; i < lds.length; i++) {
+        const x0 = f.x(ts[i]);
+        const x1 = f.x(i + 1 < ts.length ? ts[i + 1] : tEnd);
+        for (let a = 0; a < n; a++) {
+            const c = lds[i].fields['app' + a + '.class'];
+            if (c === undefined) continue;
+            const g = el('g', {}, f.plot);
+            el('rect', {x: x0, y: f.y(a + 1) + 1,
+                        width: Math.max(x1 - x0, 1),
+                        height: Math.max(f.y(a) - f.y(a + 1) - 2, 1),
+                        fill: classColors[c] || '#999',
+                        'fill-opacity': 0.8}, g);
+            el('title', {}, g).textContent = ownerLabel(b, a) + ': ' +
+                (classNames[c] || String(c));
+        }
+    }
+    legend(parent, classNames.map((nm, i) => [nm, classColors[i]]));
+}
+
+// Fractional-way bouncing: each sensitive app's granted integer ways
+// per decision (solid steps) against its fractional target (dashed).
+function drawBounce(parent, b, lds) {
+    let n = 0;
+    for (const e of lds) n = Math.max(n, e.fields.num_apps || 0);
+    const ts = lds.map(e => e.t_us / 1000);
+    const sens = [];
+    for (let a = 0; a < n; a++) {
+        if (lds.some(e => e.fields['app' + a + '.class'] === 2))
+            sens.push(a);
+    }
+    if (!sens.length || ts.length < 2) return;
+    let ymax = 1;
+    for (const a of sens) {
+        for (const e of lds) {
+            ymax = Math.max(ymax, e.fields['app' + a + '.ways'] || 0,
+                            e.fields['app' + a + '.target'] || 0);
+        }
+    }
+    const f = frame(parent, {title:
+        'LFOC way bouncing: granted ways (solid) vs fractional ' +
+        'target (dashed)',
+        xlab: 'time (ms)', ylab: 'ways', h: 160,
+        x0: ts[0], x1: ts[ts.length - 1], y0: 0, y1: ymax + 1});
+    for (const a of sens) {
+        linePath(f, ts,
+                 lds.map(e => e.fields['app' + a + '.ways'] || 0),
+                 ownerColors[a % ownerColors.length]);
+        linePath(f, ts,
+                 lds.map(e => e.fields['app' + a + '.target'] || 0),
+                 ownerColors[a % ownerColors.length], '5 3');
+    }
+    legend(parent, sens.map(a =>
+        [ownerLabel(b, a), ownerColors[a % ownerColors.length]]));
+}
+
+function drawNAppBatch(charts, dec, b) {
+    const runs = nappRuns(b);
+    const nds = nappDecisions(b);
+    const rules = [];
+    for (const r of runs) {
+        if (r.rule !== 'solo' && rules.indexOf(r.rule) < 0)
+            rules.push(r.rule);
+    }
+    for (const e of nds) {
+        if (rules.indexOf(e.rule) < 0) rules.push(e.rule);
+    }
+    drawPolicyStrip(charts, b, rules);
+    const segs = segmentSamples(b.samples);
+    const labeled = runs.length === segs.length && segs.length > 0;
+    if (!labeled && b.samples.length) {
+        // Markers and sample segments disagree (e.g. a run too short
+        // to sample): fall back to the combined stream.
+        drawOccupancy(charts, b);
+    }
+    const labelFor = r => {
+        if (r.rule !== 'solo') return b.label;
+        const parts = (b.label || '').split('+');
+        const a = (r.fields || {}).app || 0;
+        return parts[a] || ('app ' + a);
+    };
+    if (labeled) {
+        for (let i = 0; i < runs.length; i++) {
+            const rule = runs[i].rule;
+            if (rule === 'solo') continue;
+            const sub = {label: b.label, samples: segs[i],
+                         journal: nds.filter(e => e.rule === rule)
+                             .concat(rule === 'dynamic'
+                                     ? decisions(b) : [])};
+            drawOccupancy(charts, sub,
+                'LLC way occupancy by owner — policy: ' + rule);
+        }
+    }
+    const lds = nds.filter(e => e.rule === 'lfoc');
+    if (lds.length) {
+        drawClassLane(charts, b, lds);
+        drawBounce(charts, b, lds);
+    }
+    if (labeled) {
+        // Per-owner detail (stalls / power / DRAM) for one selected
+        // System run of the study.
+        const detail = document.createElement('div');
+        charts.appendChild(detail);
+        const sel = document.createElement('select');
+        runs.forEach((r, i) => {
+            const opt = document.createElement('option');
+            opt.value = i;
+            opt.textContent = 'detail: ' + (r.rule === 'solo'
+                ? 'solo ' + labelFor(r) : 'policy ' + r.rule);
+            sel.appendChild(opt);
+        });
+        detail.appendChild(sel);
+        const body = document.createElement('div');
+        detail.appendChild(body);
+        const drawDetail = i => {
+            body.textContent = '';
+            const sub = {label: labelFor(runs[i]), samples: segs[i],
+                         journal: []};
+            drawStalls(body, sub);
+            drawEnergy(body, sub);
+            drawDram(body, sub);
+        };
+        sel.addEventListener('change',
+                             () => drawDetail(Number(sel.value)));
+        drawDetail(0);
+    }
+    drawSlo(charts, b);
+    nappDecisionsTable(dec, b);
+    if (decisions(b).length) decisionsTable(dec, b);
+}
+
 // ---- tables -----------------------------------------------------------
+
+function nappDecisionsTable(parent, batch) {
+    const ds = nappDecisions(batch);
+    if (!ds.length) {
+        html('p', 'empty', parent,
+             'No N-app partitioner decisions recorded for this point.');
+        return;
+    }
+    const classCh = ['L', 'S', '*'];
+    const tbl = html('table', '', parent);
+    const hdr = html('tr', '', tbl);
+    for (const h of ['t (ms)', 'policy', 'seq', 'apps', 'ways',
+                     'per-app ways (L light / S streaming / * target)',
+                     'applied'])
+        html('th', h === 'policy' || h.indexOf('per-app') === 0
+                 ? 's' : '', hdr, h);
+    for (const d of ds) {
+        const fl = d.fields || {};
+        const n = fl.num_apps || 0;
+        const cells = [];
+        for (let a = 0; a < n; a++) {
+            let cell = fmt(fl['app' + a + '.ways'], 0);
+            const c = fl['app' + a + '.class'];
+            if (c !== undefined && c !== 2) cell += classCh[c] || '';
+            const t = fl['app' + a + '.target'];
+            if (d.rule === 'lfoc' && c === 2 && t !== undefined)
+                cell += '*' + fmt(t, 2);
+            cells.push(cell);
+        }
+        const tr = html('tr', '', tbl);
+        tr.title = Object.keys(fl).map(k => k + '=' + fmt(fl[k], 6))
+                         .join('  ');
+        html('td', '', tr, fmt(d.t_us / 1000));
+        html('td', 's', tr, d.rule);
+        html('td', '', tr, fmt(fl.seq, 0));
+        html('td', '', tr, fmt(n, 0));
+        html('td', '', tr, fmt(fl.total_ways, 0));
+        html('td', 's', tr, cells.join(' '));
+        html('td', '', tr, fl.applied ? 'yes' : 'no');
+    }
+}
 
 function decisionsTable(parent, batch) {
     const ds = decisions(batch);
@@ -516,6 +791,10 @@ function drawBatch(idx) {
         return;
     }
     const b = batches[idx];
+    if (isNApp(b)) {
+        drawNAppBatch(charts, dec, b);
+        return;
+    }
     if (b.samples.length) {
         drawOccupancy(charts, b);
         drawStalls(charts, b);
@@ -533,15 +812,17 @@ function drawBatch(idx) {
 document.getElementById('page-title').textContent =
     data.title || 'capart dashboard';
 document.title = data.title || 'capart dashboard';
-let sampleTotal = 0, decisionTotal = 0;
+let sampleTotal = 0, decisionTotal = 0, nappTotal = 0;
 for (const b of batches) {
     sampleTotal += b.samples.length;
     decisionTotal += decisions(b).length;
+    nappTotal += nappDecisions(b).length;
 }
 document.getElementById('page-meta').textContent =
     batches.length + ' point(s), ' + sampleTotal +
     ' attribution sample(s), ' + decisionTotal +
-    ' partitioner decision(s), ' + points.length +
+    ' partitioner decision(s), ' + nappTotal +
+    ' N-app policy decision(s), ' + points.length +
     ' ledger point record(s).';
 
 if (batches.length > 1) {

@@ -275,10 +275,20 @@ attrFilePath(const SweepRunnerOptions &opts, const ExperimentSpec &spec)
     return name;
 }
 
-/** Short human label for one point ("fg" or "fg+bg"). */
+/** Short human label for one point ("fg", "fg+bg", or the N-app mix
+ *  joined with '+' so per-owner charts can name every member). */
 std::string
 pointLabel(const ExperimentSpec &spec)
 {
+    if (!spec.napps.empty()) {
+        std::string label;
+        for (const std::string &name : splitAppList(spec.napps)) {
+            if (!label.empty())
+                label += '+';
+            label += name;
+        }
+        return label;
+    }
     std::string label = spec.fg;
     if (!spec.bg.empty()) {
         label += '+';
@@ -287,13 +297,14 @@ pointLabel(const ExperimentSpec &spec)
     return label;
 }
 
-/** One control-plane journal entry as a ledger `decision` record. */
+/** One control-plane journal entry as a ledger record, keeping the
+ *  entry's own kind ("decision" or "npartition_decision"). */
 obs::RunRecord
 decisionRecord(const SweepRunnerOptions &opts, const ExperimentSpec &spec,
                const obs::JournalEntry &e)
 {
     obs::RunRecord rec;
-    rec.kind = "decision";
+    rec.kind = e.kind;
     rec.bench = opts.benchName;
     rec.run = opts.runId;
     rec.spec = spec.canonical();
@@ -340,7 +351,7 @@ exportPointAttribution(const SweepRunnerOptions &opts,
     }
     if (ledger) {
         for (const obs::JournalEntry &e : batch.journal) {
-            if (e.kind == "decision")
+            if (e.kind == "decision" || e.kind == "npartition_decision")
                 ledger->append(decisionRecord(opts, spec, e));
         }
     }

@@ -162,8 +162,9 @@ RunLedger::decode(const std::string &line, RunRecord *out)
     readPairs(doc->at("metrics"), &rec.metrics);
     readPairs(doc->at("counters"), &rec.counters);
     if (rec.kind != "point" && rec.kind != "bench" &&
-        rec.kind != "decision" && rec.kind != "point_start" &&
-        rec.kind != "point_failed" && rec.kind != "run_interrupted")
+        rec.kind != "decision" && rec.kind != "npartition_decision" &&
+        rec.kind != "point_start" && rec.kind != "point_failed" &&
+        rec.kind != "run_interrupted")
         return false;
     *out = std::move(rec);
     return true;
@@ -200,7 +201,7 @@ kindRank(const std::string &kind)
         return 0;
     if (kind == "point_failed")
         return 1;
-    if (kind == "decision")
+    if (kind == "decision" || kind == "npartition_decision")
         return 2;
     if (kind == "bench")
         return 3;
@@ -262,7 +263,8 @@ mergeLedgerSegments(const std::vector<std::string> &segment_paths,
             const bool spec_bound = rec.kind == "point" ||
                                     rec.kind == "point_start" ||
                                     rec.kind == "point_failed" ||
-                                    rec.kind == "decision";
+                                    rec.kind == "decision" ||
+                                    rec.kind == "npartition_decision";
             if (spec_bound) {
                 if (opts.filterSeed && rec.seed != opts.expectedSeed) {
                     ++out.duplicatesDropped;
@@ -295,7 +297,8 @@ mergeLedgerSegments(const std::vector<std::string> &segment_paths,
                          supersedes(rec, it->second)))
                         it->second = std::move(rec);
                 }
-            } else if (rec.kind == "decision") {
+            } else if (rec.kind == "decision" ||
+                       rec.kind == "npartition_decision") {
                 auto [it, inserted] =
                     decisions.emplace(decisionKey(rec), rec);
                 if (!inserted) {

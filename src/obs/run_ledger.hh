@@ -3,7 +3,7 @@
  * Append-only JSONL run ledger: the durable record every experiment
  * run leaves behind.
  *
- * One ledger is one file of newline-delimited JSON records. Six
+ * One ledger is one file of newline-delimited JSON records. Seven
  * kinds of record exist:
  *
  *  - `point`  — one @ref capart::exec::SweepRunner sweep point: the
@@ -18,6 +18,11 @@
  *    computing a point: the complete decision inputs and outputs as
  *    the metric map, the fired rule in `rule`, so the decision can be
  *    replayed deterministically from the record alone;
+ *  - `npartition_decision` — one N-app Partitioner decision (shared /
+ *    fair / biased / dynamic / ucp / lfoc), same replay contract as
+ *    `decision`: per-app observations, miss curves, and LFOC bounce
+ *    state in the metric map, the policy name in `rule`
+ *    (core/npartition_journal rebuilds and re-decides from it);
  *  - `point_start` — a shard worker is about to compute a point
  *    (attempt number in the metric map). Dangling starts — a start
  *    with no later `point` for the same spec hash — are how the shard
@@ -60,7 +65,8 @@ namespace capart::obs
 struct RunRecord
 {
     /** "point" (sweep point), "bench" (binary invocation), "decision"
-     *  (one partitioner control decision), "point_start" (shard worker
+     *  (one partitioner control decision), "npartition_decision" (one
+     *  N-app Partitioner decision), "point_start" (shard worker
      *  liveness), "point_failed" (quarantined point), or
      *  "run_interrupted" (signal-terminated run). */
     std::string kind = "point";

@@ -75,7 +75,8 @@ groupRuns(const std::vector<obs::RunRecord> &records)
             g->startTsMs = rec.tsMs;
         if (rec.kind == "bench")
             g->benchRecords.push_back(rec);
-        else if (rec.kind == "decision")
+        else if (rec.kind == "decision" ||
+                 rec.kind == "npartition_decision")
             g->decisions.push_back(rec);
         else if (rec.kind == "point_failed")
             g->failures.push_back(rec);
@@ -365,6 +366,11 @@ writeMarkdown(std::ostream &os, const std::vector<RunGroup> &groups,
     // Point every gated metric at the single pair that regressed
     // hardest, with the attribution timeline when the run recorded one
     // — the fastest path from "the gate fired" to "who ate the cache".
+    const RunGroup *current_group = nullptr;
+    for (const RunGroup &g : groups) {
+        if (g.run == cmp->currentRun)
+            current_group = &g;
+    }
     bool have_worst = false;
     for (const MetricComparison &m : cmp->metrics) {
         if (m.verdict == Verdict::Pass || m.worstSpecHash == 0)
@@ -378,6 +384,26 @@ writeMarkdown(std::ostream &os, const std::vector<RunGroup> &groups,
         os << "- `" << m.name << "`: spec `0x" << hash << "`";
         if (!m.worstAttrFile.empty())
             os << " — attribution timeline `" << m.worstAttrFile << "`";
+        // Journaled decision evidence: how many replayable control
+        // decisions (Algorithm 6.2 and N-app policy) the current run
+        // ledgered for this point.
+        if (current_group) {
+            std::size_t pair_dec = 0;
+            std::size_t napp_dec = 0;
+            for (const obs::RunRecord &d : current_group->decisions) {
+                if (d.specHash != m.worstSpecHash)
+                    continue;
+                if (d.kind == "npartition_decision")
+                    ++napp_dec;
+                else
+                    ++pair_dec;
+            }
+            if (pair_dec > 0)
+                os << " — " << pair_dec << " journaled decision(s)";
+            if (napp_dec > 0)
+                os << " — " << napp_dec
+                   << " journaled N-app policy decision(s)";
+        }
         os << "\n";
     }
 }

@@ -47,8 +47,9 @@ struct RunGroup
     std::vector<obs::RunRecord> points;
     /** The run's closing `bench` records (normally one). */
     std::vector<obs::RunRecord> benchRecords;
-    /** Partitioner `decision` records, in ledger order. They never
-     *  enter metric pairing — a decision is not a sweep point. */
+    /** Partitioner `decision` and `npartition_decision` records, in
+     *  ledger order. They never enter metric pairing — a decision is
+     *  not a sweep point. */
     std::vector<obs::RunRecord> decisions;
     /** `point_failed` records: points the shard supervisor quarantined
      *  after exhausting retries. Surfaced in reports (a silent hole in
