@@ -23,6 +23,7 @@
 #include "obs/run_ledger.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
+#include "obs/trace_stitch.hh"
 #include "workload/catalog.hh"
 
 namespace capart::bench
@@ -42,6 +43,12 @@ std::string gMetricsOut;  // NOLINT(cert-err58-cpp)
 std::string gTraceOut;    // NOLINT(cert-err58-cpp)
 std::string gDashboardOut; // NOLINT(cert-err58-cpp)
 std::string gAttrDir;      // NOLINT(cert-err58-cpp)
+std::string gStatusOut;    // NOLINT(cert-err58-cpp)
+
+/** Supervisor only (> 1): shard count of this invocation's sweeps.
+ *  Tells the atexit exporter to stitch the per-shard worker traces
+ *  with the supervisor's own into gTraceOut. */
+unsigned gShards = 0;
 
 /** Ledger state of this invocation (one run id across all records). */
 std::unique_ptr<obs::RunLedger> gLedger;     // NOLINT(cert-err58-cpp)
@@ -183,12 +190,35 @@ exportObsFiles()
                          gMetricsOut.c_str());
     }
     if (!gTraceOut.empty()) {
-        std::ofstream out(gTraceOut);
-        if (out)
-            obs::tracer().writeChromeTrace(out);
-        else
-            std::fprintf(stderr, "capart: cannot write --trace-out=%s\n",
-                         gTraceOut.c_str());
+        if (gShards > 1 && obs::enabled()) {
+            // Supervisor of a sharded sweep: dump this process's own
+            // timeline (lifecycle instants), then stitch it with the
+            // workers' `<trace>.shard-<k>` files into one --trace-out
+            // document. Shards that never spawned (clamped count) or
+            // died mid-export are tolerated and counted in the
+            // stitched metadata.
+            const std::string sup = gTraceOut + ".supervisor";
+            {
+                std::ofstream out(sup);
+                if (out)
+                    obs::tracer().writeChromeTrace(out);
+            }
+            std::vector<obs::StitchSource> sources;
+            sources.push_back({sup, "supervisor"});
+            for (unsigned k = 0; k < gShards; ++k)
+                sources.push_back(
+                    {gTraceOut + ".shard-" + std::to_string(k),
+                     "shard " + std::to_string(k)});
+            obs::stitchTraceFiles(sources, gTraceOut);
+        } else {
+            std::ofstream out(gTraceOut);
+            if (out)
+                obs::tracer().writeChromeTrace(out);
+            else
+                std::fprintf(stderr,
+                             "capart: cannot write --trace-out=%s\n",
+                             gTraceOut.c_str());
+        }
     }
     if (!gDashboardOut.empty()) {
         // Points come back out of the ledger file (they were appended
@@ -207,7 +237,7 @@ exportObsFiles()
         dashboard::writeDashboardFile(
             gDashboardOut,
             "capart " + bench + (gRunId.empty() ? "" : " — " + gRunId),
-            points);
+            points, gStatusOut);
     }
 }
 
@@ -336,9 +366,17 @@ parseArgs(int argc, char **argv, double default_scale,
         } else if (arg.rfind("--max-retries=", 0) == 0) {
             opts.maxRetries = static_cast<unsigned>(
                 std::strtoul(arg.c_str() + 14, nullptr, 10));
+        } else if (arg.rfind("--status-out=", 0) == 0) {
+            opts.statusOut = arg.substr(13);
+            gStatusOut = opts.statusOut;
+            enableObsExport();
+        } else if (arg.rfind("--prom-out=", 0) == 0) {
+            opts.promOut = arg.substr(11);
+            enableObsExport();
         } else if (arg.rfind("--log-out=", 0) == 0) {
+            // Sink opened after the loop: a later --shard-worker (the
+            // supervisor appends it last) rewrites the path per shard.
             opts.logOut = arg.substr(10);
-            setLogSink(opts.logOut);
         } else if (arg.rfind("--log-level=", 0) == 0) {
             LogLevel lvl;
             if (!parseLogLevel(arg.substr(12), &lvl)) {
@@ -410,7 +448,15 @@ parseArgs(int argc, char **argv, double default_scale,
                         "               the slowest legitimate point)\n"
                         "  --max-retries=N  retries before a failing "
                         "point is quarantined\n"
-                        "               (default 2)\n",
+                        "               (default 2)\n"
+                        "  --status-out=F  (with --shards) atomically "
+                        "refresh a live sweep\n"
+                        "               status.json at F (watch with "
+                        "bench_status --watch F)\n"
+                        "  --prom-out=F (with --shards) refresh a "
+                        "Prometheus text\n"
+                        "               exposition file at F on the "
+                        "same cadence\n",
                         description, argv[0], default_scale,
                         kDefaultCacheDir);
             std::exit(arg == "--help" ? 0 : 1);
@@ -429,14 +475,31 @@ parseArgs(int argc, char **argv, double default_scale,
     }
     if (opts.shardWorker >= 0) {
         // Shard worker: its records go to its own ledger segment, and
-        // the supervising parent owns every user-facing export.
-        // Exporting from here too would clobber the parent's files and
-        // double-count bench records once the segments are merged.
-        gMetricsOut.clear();
-        gTraceOut.clear();
+        // the supervising parent owns the user-facing exports. Metrics
+        // and traces are still worth keeping per worker — under the
+        // `<path>.shard-<k>` naming convention, never the parent's
+        // paths (every worker writing the same file was last-writer-
+        // wins clobbering). The supervisor collects them afterwards:
+        // traces are stitched into the parent's --trace-out, counters
+        // folded into --prom-out. Dashboard and ledger exports stay
+        // disabled — the supervisor owns both (a worker ledger record
+        // would double-count once segments merge).
+        const std::string suffix =
+            ".shard-" + std::to_string(opts.shardWorker);
+        if (!gMetricsOut.empty())
+            gMetricsOut += suffix;
+        if (!gTraceOut.empty())
+            gTraceOut += suffix;
         gDashboardOut.clear();
+        gStatusOut.clear();
         opts.ledgerOut.clear();
+        if (!opts.logOut.empty() && opts.logOut != "-")
+            opts.logOut += suffix;
+    } else if (opts.shards > 1) {
+        gShards = opts.shards;
     }
+    if (!opts.logOut.empty())
+        setLogSink(opts.logOut);
     if (opts.shards > 1 || opts.shardWorker >= 0) {
         if (opts.ledgerDir.empty())
             opts.ledgerDir = opts.cacheDir + "/shards";
@@ -491,6 +554,10 @@ makeRunner(const BenchOptions &opts, const std::string &bench_name)
     ro.maxRetries = opts.maxRetries;
     ro.workerCmd = gWorkerCmd;
     ro.stopFlag = &gStopSignal;
+    // Live status plane (supervisor side; workers ignore these).
+    ro.statusPath = opts.statusOut;
+    ro.promPath = opts.promOut;
+    ro.workerMetricsBase = opts.metricsOut;
     if ((ro.shards > 1 || ro.shardWorker >= 0) && ro.runId.empty()) {
         // Segment records need a run id even without --ledger.
         ro.runId = bench_name + "-" + std::to_string(opts.seed) + "-" +

@@ -69,6 +69,13 @@ struct BenchOptions
     double pointTimeoutS = 0.0;
     /** Retries a failing point gets before quarantine. */
     unsigned maxRetries = 2;
+    /** Live sweep status.json path, atomically refreshed by the shard
+     *  supervisor while a --shards sweep runs ("" = off); watch it
+     *  with bench_status. See src/obs/status.hh. */
+    std::string statusOut;
+    /** Prometheus text exposition file, refreshed on the same cadence
+     *  ("" = off). */
+    std::string promOut;
 };
 
 /**
@@ -99,6 +106,20 @@ struct BenchOptions
  * --ledger-dir=D (see exec/shard_supervisor.hh). With --resume the
  * supervisor keeps existing segments and fast-forwards past finished
  * points, so a killed sweep continues where it stopped.
+ *
+ * Sharded export convention: a shard worker (--shard-worker=k) never
+ * writes the parent's side files. Its --metrics-out, --trace-out, and
+ * --log-out paths are rewritten to `<path>.shard-<k>`, its dashboard
+ * and ledger exports are disabled (the supervisor owns both), and the
+ * supervisor collects the per-shard files afterwards: worker traces
+ * are stitched with the supervisor's own into one --trace-out timeline
+ * (see src/obs/trace_stitch.hh) and worker counters are folded into
+ * the --prom-out exposition. --status-out=F keeps a live, atomically
+ * replaced status.json fresh while the sweep runs (per-shard pids,
+ * progress, retries, quarantines, heartbeat ages; sweep throughput /
+ * ETA / cache-hit rate — watch it with `bench_status --watch F`), and
+ * --prom-out=F a Prometheus text exposition on the same cadence. Both
+ * are supervisor-side: without --shards > 1 they write nothing.
  *
  * parseArgs also arms SIGTERM/SIGINT handling: the signals are blocked
  * process-wide and consumed by a dedicated watcher thread (sigwait),

@@ -9,6 +9,11 @@
 # serial (--jobs=1) run. That is the supervisor's core invariant:
 # fault tolerance may never change a result, only recompute it.
 #
+# The crash scenarios additionally arm the live status plane
+# (--status-out): the final status.json must reflect the injected
+# faults — retries for transient crashes, quarantines for persistent
+# ones — while the sweep still completes.
+#
 # Usage: scripts/chaos_check.sh [build-dir]   (default: build)
 
 set -euo pipefail
@@ -47,6 +52,23 @@ sharded() {
         "$@" > "$WORK/$name.txt"
 }
 
+# check_status FILE PYTHON-EXPR: assert the expression holds over the
+# decoded status.json (bound to `s`).
+check_status() {
+    local file=$1 expr=$2
+    if python3 - "$file" "$expr" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+sys.exit(0 if eval(sys.argv[2]) else 1)
+EOF
+    then
+        echo "ok: $(basename "$file") satisfies: $expr"
+    else
+        echo "FAIL: $(basename "$file") violates: $expr" >&2
+        fail=1
+    fi
+}
+
 echo "== golden: serial run"
 "$BENCH" "${COMMON[@]}" --jobs=1 > "$WORK/golden.txt"
 
@@ -57,9 +79,34 @@ check_identical clean
 echo "== worker crashes (every 5th point dies on its first attempt)"
 (
     export CAPART_CHAOS_CRASH_MOD=5
-    sharded crash
+    sharded crash --status-out="$WORK/crash.status.json"
 )
 check_identical crash
+# The status plane watched the crashes: retries recorded, nothing
+# quarantined, sweep complete — and recording it changed nothing
+# (check_identical above proves the results stayed byte-identical).
+check_status "$WORK/crash.status.json" \
+    "s['state'] == 'complete' and s['retries'] > 0 \
+     and s['points_quarantined'] == 0 \
+     and s['points_done'] == s['points_total'] \
+     and sum(sh['crashes'] for sh in s['shard_states']) > 0"
+
+echo "== persistent crashes (every 5th point dies on EVERY attempt)"
+if ! (
+    export CAPART_CHAOS_CRASH_MOD=5 CAPART_CHAOS_CRASH_ATTEMPTS=99
+    sharded quarantine --status-out="$WORK/quarantine.status.json"
+); then
+    echo "FAIL: quarantine scenario aborted the sweep" >&2
+    fail=1
+fi
+# Quarantined points are holes, so stdout legitimately diverges from
+# golden here; the contract is that the sweep completes and the final
+# snapshot accounts for every point as done or quarantined.
+check_status "$WORK/quarantine.status.json" \
+    "s['state'] == 'complete' and s['points_quarantined'] > 0 \
+     and s['points_done'] + s['points_quarantined'] == s['points_total'] \
+     and sum(sh['points_quarantined'] for sh in s['shard_states']) \
+         == s['points_quarantined']"
 
 echo "== torn segment tails (every 6th point tears its segment)"
 (

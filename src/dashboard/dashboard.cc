@@ -100,6 +100,7 @@ by policy (shared / fair / ucp / lfoc / dynamic).</p>
 <div id="decisions"></div>
 <h2>Sweep points</h2>
 <div id="points"></div>
+<div id="fleet"></div>
 <script>
 )HTML";
 
@@ -775,6 +776,39 @@ function pointsTable(parent) {
     }
 }
 
+// Fleet status of a sharded sweep (the supervisor's final
+// status.json, embedded verbatim): one row per shard.
+function fleetSection(parent) {
+    const s = data.status;
+    if (!s || !s.shard_states) return;
+    html('h2', '', parent, 'Fleet status');
+    html('p', 'sub', parent,
+         'Sweep ' + (s.state || '?') + ': ' + (s.points_done || 0) +
+         '/' + (s.points_total || 0) + ' points done, ' +
+         (s.points_from_cache || 0) + ' from cache, ' +
+         (s.points_quarantined || 0) + ' quarantined, ' +
+         (s.retries || 0) + ' retries across ' + (s.shards || 0) +
+         ' shard(s).');
+    const tbl = html('table', '', parent);
+    const hdr = html('tr', '', tbl);
+    for (const h of ['shard', 'state', 'done', 'cached', 'quarantined',
+                     'retries', 'spawns', 'timeout kills', 'crashes'])
+        html('th', h === 'state' ? 's' : '', hdr, h);
+    for (const sh of s.shard_states) {
+        const tr = html('tr', '', tbl);
+        html('td', '', tr, fmt(sh.shard, 0));
+        html('td', 's', tr, sh.state || '?');
+        html('td', '', tr, fmt(sh.points_done, 0) + '/' +
+                           fmt(sh.points_assigned, 0));
+        html('td', '', tr, fmt(sh.points_from_cache, 0));
+        html('td', '', tr, fmt(sh.points_quarantined, 0));
+        html('td', '', tr, fmt(sh.retries, 0));
+        html('td', '', tr, fmt(sh.spawns, 0));
+        html('td', '', tr, fmt(sh.timeout_kills, 0));
+        html('td', '', tr, fmt(sh.crashes, 0));
+    }
+}
+
 // ---- page assembly ----------------------------------------------------
 
 function drawBatch(idx) {
@@ -840,6 +874,7 @@ if (batches.length > 1) {
 }
 drawBatch(0);
 pointsTable(document.getElementById('points'));
+fleetSection(document.getElementById('fleet'));
 })();
 )JS";
 
@@ -900,7 +935,15 @@ dashboardJson(const DashboardData &data)
             os << ',';
         os << obs::RunLedger::encode(data.points[i]);
     }
-    os << "]}";
+    os << "],\"status\":";
+    // Re-encode through the parser so a torn or foreign file can never
+    // break the page's embedded JSON.
+    const auto status = Json::parse(data.statusJson);
+    if (!data.statusJson.empty() && status && status->isObj())
+        os << status->dump();
+    else
+        os << "null";
+    os << "}";
     return scriptSafe(os.str());
 }
 
@@ -920,12 +963,21 @@ renderDashboardHtml(std::ostream &os, const DashboardData &data)
 
 bool
 writeDashboardFile(const std::string &path, const std::string &title,
-                   const std::vector<obs::RunRecord> &points)
+                   const std::vector<obs::RunRecord> &points,
+                   const std::string &status_path)
 {
     DashboardData data;
     data.title = title;
     data.batches = obs::timeseries().collect();
     data.points = points;
+    if (!status_path.empty()) {
+        std::ifstream status(status_path, std::ios::binary);
+        if (status) {
+            std::ostringstream text;
+            text << status.rdbuf();
+            data.statusJson = text.str();
+        }
+    }
     std::ofstream out(path);
     if (!out) {
         std::fprintf(stderr, "capart: cannot write --dashboard-out=%s\n",

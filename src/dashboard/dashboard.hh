@@ -47,6 +47,11 @@ struct DashboardData
     std::vector<obs::AttributionBatch> batches;
     /** Ledger `point` records for the summary table (may be empty). */
     std::vector<obs::RunRecord> points;
+    /** A sharded sweep's final `status.json` document (see
+     *  src/obs/status.hh), embedded verbatim so the page shows the
+     *  fleet summary (per-shard retries, kills, quarantines). Empty or
+     *  unparsable = section omitted. */
+    std::string statusJson;
 };
 
 /** Total attribution samples across @p data's batches. */
@@ -65,10 +70,13 @@ void renderDashboardHtml(std::ostream &os, const DashboardData &data);
  * Convenience for bench binaries: collect the process-wide
  * obs::timeseries() batches (drained scopes included) and render to
  * @p path. Returns false (after a stderr note) when the file cannot
- * be written. @p points may be empty.
+ * be written. @p points may be empty. A non-empty @p status_path names
+ * a sweep `status.json` to embed as the fleet-status section (missing
+ * or unreadable is not an error — the section is just omitted).
  */
 bool writeDashboardFile(const std::string &path, const std::string &title,
-                        const std::vector<obs::RunRecord> &points);
+                        const std::vector<obs::RunRecord> &points,
+                        const std::string &status_path = "");
 
 } // namespace capart::dashboard
 

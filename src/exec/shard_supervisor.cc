@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -32,6 +33,8 @@
 #include "fault/process_chaos.hh"
 #include "obs/metrics.hh"
 #include "obs/run_ledger.hh"
+#include "obs/status.hh"
+#include "obs/trace.hh"
 
 extern char **environ;
 
@@ -72,6 +75,23 @@ struct SegmentState
     std::unordered_set<std::uint64_t> done;   ///< complete `point` records
     std::unordered_set<std::uint64_t> failed; ///< quarantined specs
     std::unordered_map<std::uint64_t, unsigned> starts; ///< attempts used
+    /** `point` records replayed from the user-level cache. */
+    std::uint64_t cachedPoints = 0;
+    /** The dangling `point_start` (0 when every started point settled):
+     *  what the worker is computing right now — or died inside. */
+    std::uint64_t currentHash = 0;
+    std::string currentSpec;
+    double currentTsMs = 0.0;
+
+    /** Attempts burned beyond each started point's first. */
+    std::uint64_t
+    retries() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &[h, c] : starts)
+            n += c > 0 ? c - 1 : 0;
+        return n;
+    }
 };
 
 SegmentState
@@ -82,13 +102,26 @@ readSegmentState(const std::string &path, std::uint64_t seed)
     for (const obs::RunRecord &rec : loaded.records) {
         if (rec.seed != seed)
             continue;
-        if (rec.kind == "point")
+        if (rec.kind == "point") {
             st.done.insert(rec.specHash);
-        else if (rec.kind == "point_failed")
+            if (rec.fromCache)
+                ++st.cachedPoints;
+            if (rec.specHash == st.currentHash)
+                st.currentHash = 0;
+        } else if (rec.kind == "point_failed") {
             st.failed.insert(rec.specHash);
-        else if (rec.kind == "point_start")
+            if (rec.specHash == st.currentHash)
+                st.currentHash = 0;
+        } else if (rec.kind == "point_start") {
             ++st.starts[rec.specHash];
+            st.currentHash = rec.specHash;
+            st.currentSpec = rec.spec;
+            st.currentTsMs = rec.tsMs;
+        }
     }
+    if (st.currentHash != 0 && (st.done.count(st.currentHash) != 0 ||
+                                st.failed.count(st.currentHash) != 0))
+        st.currentHash = 0;
     return st;
 }
 
@@ -134,10 +167,19 @@ struct ShardState
     /** Consecutive failures with neither a culprit point nor segment
      *  progress — the worker is dying before it reaches any point. */
     unsigned barren = 0;
+    /** Workers SIGKILLed for exceeding the point timeout. */
+    unsigned timeoutKills = 0;
+    /** Worker deaths attributed to a crash (nonzero or early exit). */
+    unsigned crashes = 0;
     std::uintmax_t sizeAtSpawn = 0;
     std::uintmax_t lastSize = 0;
     Clock::time_point lastBeat{};
     Clock::time_point respawnAt{};
+    /** First spawn / settle times: the shard's wall-clock span. */
+    Clock::time_point firstSpawnAt{};
+    Clock::time_point settledAt{};
+    bool everSpawned = false;
+    bool settleStamped = false;
     std::vector<std::size_t> assigned; ///< indexes into the spec vector
 };
 
@@ -272,6 +314,13 @@ runShardWorker(const SweepRunnerOptions &opts,
         if (chaos.tearAfterPoint(h, attempt))
             fault::ProcessChaos::tearAndDie(seg_path);
     }
+    // Workers without an atexit exporter (the test harness) still feed
+    // trace stitching: dump this process's trace before exiting.
+    if (obs::enabled() && !opts.workerTraceOut.empty()) {
+        std::ofstream os(opts.workerTraceOut, std::ios::trunc);
+        if (os)
+            obs::tracer().writeChromeTrace(os);
+    }
     std::exit(0);
 }
 
@@ -306,6 +355,106 @@ runShardedSweep(const SweepRunnerOptions &opts,
     }
     for (unsigned k = 0; k < shards; ++k)
         st[k].id = k;
+
+    // ---- live status plane ------------------------------------------
+    // Everything below the `statusOn` gate is observability *output*:
+    // derived from segment digests the supervisor reads anyway, written
+    // to side files nothing reads back. With observability disabled (or
+    // no --status-out/--prom-out) not a single extra syscall runs.
+    const bool statusOn = obs::enabled() && (!opts.statusPath.empty() ||
+                                             !opts.promPath.empty());
+    const double sweepStartTsMs = unixMillisNow();
+    const Clock::time_point sweepStart = Clock::now();
+    std::vector<SegmentState> segCache(shards);
+    std::vector<std::pair<std::string, unsigned>> workerMetrics;
+    if (statusOn && !opts.workerMetricsBase.empty()) {
+        for (unsigned k = 0; k < shards; ++k)
+            workerMetrics.emplace_back(
+                opts.workerMetricsBase + ".shard-" + std::to_string(k), k);
+    }
+
+    const auto shardStatusOf = [&](const ShardState &s) {
+        obs::ShardStatus sh;
+        sh.shard = s.id;
+        sh.pid = s.pid > 0 ? static_cast<long>(s.pid) : -1;
+        if (s.settled)
+            sh.state = "settled";
+        else if (s.pid > 0)
+            sh.state = "running";
+        else if (s.pendingRespawn)
+            sh.state = "backoff";
+        else
+            sh.state = "idle";
+        sh.pointsAssigned = s.assigned.size();
+        const SegmentState &seg = segCache[s.id];
+        for (const std::size_t idx : s.assigned) {
+            const std::uint64_t h = sweepHashes[idx];
+            if (seg.done.count(h) != 0)
+                ++sh.pointsDone;
+            else if (seg.failed.count(h) != 0)
+                ++sh.pointsQuarantined;
+        }
+        sh.pointsFromCache = seg.cachedPoints;
+        sh.retries = seg.retries();
+        sh.spawns = s.spawns;
+        sh.timeoutKills = s.timeoutKills;
+        sh.crashes = s.crashes;
+        if (s.pid > 0)
+            sh.lastBeatAgeS = std::chrono::duration<double>(
+                                  Clock::now() - s.lastBeat)
+                                  .count();
+        if (seg.currentHash != 0) {
+            sh.currentSpec = seg.currentSpec;
+            sh.currentSpecHash = seg.currentHash;
+            sh.currentElapsedS =
+                std::max(0.0, (unixMillisNow() - seg.currentTsMs) /
+                                  1000.0);
+        }
+        return sh;
+    };
+
+    const auto writeStatus = [&](const std::string &state) {
+        if (!statusOn)
+            return;
+        obs::SweepStatus ss;
+        ss.bench = opts.benchName;
+        ss.run = opts.runId;
+        ss.state = state;
+        ss.seed = opts.baseSeed;
+        ss.shards = shards;
+        ss.pointsTotal = specs.size();
+        ss.startTsMs = sweepStartTsMs;
+        ss.updatedTsMs = unixMillisNow();
+        for (const ShardState &s : st) {
+            obs::ShardStatus sh = shardStatusOf(s);
+            ss.pointsDone += sh.pointsDone;
+            ss.pointsFromCache += sh.pointsFromCache;
+            ss.pointsQuarantined += sh.pointsQuarantined;
+            ss.retries += sh.retries;
+            ss.shardStates.push_back(std::move(sh));
+        }
+        const double elapsedMin =
+            std::chrono::duration<double>(Clock::now() - sweepStart)
+                .count() /
+            60.0;
+        if (ss.pointsDone > 0 && elapsedMin > 0.0)
+            ss.throughputPointsPerMin =
+                static_cast<double>(ss.pointsDone) / elapsedMin;
+        const std::uint64_t settled = ss.pointsDone + ss.pointsQuarantined;
+        if (ss.throughputPointsPerMin > 0.0 && settled < ss.pointsTotal)
+            ss.etaS = static_cast<double>(ss.pointsTotal - settled) /
+                      ss.throughputPointsPerMin * 60.0;
+        else if (settled >= ss.pointsTotal)
+            ss.etaS = 0.0;
+        if (ss.pointsDone > 0)
+            ss.cacheHitRate = static_cast<double>(ss.pointsFromCache) /
+                              static_cast<double>(ss.pointsDone);
+        if (!opts.statusPath.empty())
+            obs::writeStatusFile(opts.statusPath, ss);
+        if (!opts.promPath.empty())
+            obs::writePromFile(opts.promPath, obs::metrics(), &ss,
+                               workerMetrics);
+    };
 
     if (!opts.resumeShards) {
         for (unsigned k = 0; k < shards; ++k) {
@@ -345,11 +494,17 @@ runShardedSweep(const SweepRunnerOptions &opts,
                                  static_cast<double>(attempts));
         rec.metrics.emplace_back("shard", static_cast<double>(s.id));
         seg.append(rec);
+        segCache[s.id].failed.insert(sweepHashes[idx]);
         capart_warn("shard " << s.id << ": quarantined point "
                              << specs[idx].canonical() << " after "
                              << attempts << " attempt(s) [" << reason
                              << "]");
         countIf("exec.points_quarantined");
+        obs::tracer().instant(
+            "shard.quarantine", "shard", obs::tracer().wallUs(),
+            {{"shard", static_cast<double>(s.id)},
+             {"attempts", static_cast<double>(attempts)}},
+            obs::Track::Host);
     };
 
     const auto spawnShard = [&](ShardState &s) {
@@ -390,7 +545,25 @@ runShardedSweep(const SweepRunnerOptions &opts,
         s.sizeAtSpawn = fileSizeOr0(segPathOf(s.id));
         s.lastSize = s.sizeAtSpawn;
         s.lastBeat = Clock::now();
+        if (!s.everSpawned) {
+            s.everSpawned = true;
+            s.firstSpawnAt = s.lastBeat;
+        }
         countIf("exec.shard_spawns");
+        // First spawn vs respawn get distinct instants so a stitched
+        // trace shows recovery churn at a glance.
+        if (s.spawns > 1)
+            obs::tracer().instant(
+                "shard.respawn", "shard", obs::tracer().wallUs(),
+                {{"shard", static_cast<double>(s.id)},
+                 {"spawn", static_cast<double>(s.spawns)}},
+                obs::Track::Host);
+        else
+            obs::tracer().instant(
+                "shard.spawn", "shard", obs::tracer().wallUs(),
+                {{"shard", static_cast<double>(s.id)},
+                 {"pid", static_cast<double>(pid)}},
+                obs::Track::Host);
         return true;
     };
 
@@ -403,6 +576,14 @@ runShardedSweep(const SweepRunnerOptions &opts,
     const auto onFailure = [&](ShardState &s, const char *reason) {
         SegmentState seg = readSegmentState(segPathOf(s.id),
                                             opts.baseSeed);
+        segCache[s.id] = seg;
+        if (std::strcmp(reason, "crash") == 0) {
+            ++s.crashes;
+            obs::tracer().instant(
+                "shard.crash", "shard", obs::tracer().wallUs(),
+                {{"shard", static_cast<double>(s.id)}},
+                obs::Track::Host);
+        }
         if (allSettled(s, seg)) {
             s.settled = true;
             return;
@@ -485,6 +666,9 @@ runShardedSweep(const SweepRunnerOptions &opts,
     int stop_sig = 0;
     std::vector<std::size_t> doneCounts(shards, 0);
     std::size_t reportedDone = 0;
+    const auto statusPeriod = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(std::max(opts.statusPeriodS, 0.05)));
+    Clock::time_point nextStatusAt = Clock::now();
 
     while (true) {
         if (opts.stopFlag && *opts.stopFlag != 0) {
@@ -538,6 +722,7 @@ runShardedSweep(const SweepRunnerOptions &opts,
                     if (clean) {
                         const SegmentState seg = readSegmentState(
                             segPathOf(s.id), opts.baseSeed);
+                        segCache[s.id] = seg;
                         if (allSettled(s, seg))
                             s.settled = true;
                         else
@@ -560,6 +745,7 @@ runShardedSweep(const SweepRunnerOptions &opts,
                     s.lastBeat = Clock::now();
                     const SegmentState seg = readSegmentState(
                         segPathOf(s.id), opts.baseSeed);
+                    segCache[s.id] = seg;
                     std::size_t n = 0;
                     for (const std::size_t idx : s.assigned) {
                         const std::uint64_t h = sweepHashes[idx];
@@ -581,7 +767,13 @@ runShardedSweep(const SweepRunnerOptions &opts,
                     int status = 0;
                     waitpid(s.pid, &status, 0);
                     s.pid = -1;
+                    ++s.timeoutKills;
                     countIf("exec.shard_timeouts");
+                    obs::tracer().instant(
+                        "shard.timeout_kill", "shard",
+                        obs::tracer().wallUs(),
+                        {{"shard", static_cast<double>(s.id)}},
+                        obs::Track::Host);
                     onFailure(s, "timeout");
                 }
             }
@@ -618,6 +810,20 @@ runShardedSweep(const SweepRunnerOptions &opts,
                 any_active = true;
             else
                 doneCounts[s.id] = s.assigned.size();
+
+            if (s.settled && !s.settleStamped) {
+                s.settleStamped = true;
+                s.settledAt = Clock::now();
+                obs::tracer().instant(
+                    "shard.settled", "shard", obs::tracer().wallUs(),
+                    {{"shard", static_cast<double>(s.id)}},
+                    obs::Track::Host);
+            }
+        }
+
+        if (statusOn && Clock::now() >= nextStatusAt) {
+            writeStatus("running");
+            nextStatusAt = Clock::now() + statusPeriod;
         }
 
         if (opts.progress) {
@@ -670,6 +876,66 @@ runShardedSweep(const SweepRunnerOptions &opts,
         }
     }
 
+    // Refresh every digest from disk so the final status (and the
+    // per-shard summary records below) agree exactly with the merged
+    // ledger — the supervision loop's cache can trail the last writes.
+    if (statusOn) {
+        for (unsigned k = 0; k < shards; ++k)
+            segCache[k] = readSegmentState(segPathOf(k), opts.baseSeed);
+    }
+
+    if (opts.ledger) {
+        // One `shard` summary record per shard: the fleet bookkeeping
+        // (spawns, retries, kills, quarantines) the report layer turns
+        // into its per-shard table. Deterministic given the same sweep
+        // and chaos schedule, so the canonical ledger's record set does
+        // not depend on whether the live status plane was armed.
+        for (const ShardState &s : st) {
+            const SegmentState seg =
+                statusOn ? segCache[s.id]
+                         : readSegmentState(segPathOf(s.id),
+                                            opts.baseSeed);
+            obs::RunRecord rec;
+            rec.kind = "shard";
+            rec.bench = opts.benchName;
+            rec.run = opts.runId;
+            rec.seed = opts.baseSeed;
+            rec.tsMs = unixMillisNow();
+            if (s.everSpawned) {
+                const Clock::time_point end =
+                    s.settleStamped ? s.settledAt : Clock::now();
+                rec.wallMs = std::chrono::duration<double, std::milli>(
+                                 end - s.firstSpawnAt)
+                                 .count();
+            }
+            std::uint64_t done = 0;
+            std::uint64_t failed = 0;
+            for (const std::size_t idx : s.assigned) {
+                const std::uint64_t h = sweepHashes[idx];
+                if (seg.done.count(h) != 0)
+                    ++done;
+                else if (seg.failed.count(h) != 0)
+                    ++failed;
+            }
+            auto &m = rec.metrics;
+            m.emplace_back("shard", static_cast<double>(s.id));
+            m.emplace_back("points_assigned",
+                           static_cast<double>(s.assigned.size()));
+            m.emplace_back("points_done", static_cast<double>(done));
+            m.emplace_back("points_from_cache",
+                           static_cast<double>(seg.cachedPoints));
+            m.emplace_back("points_quarantined",
+                           static_cast<double>(failed));
+            m.emplace_back("retries",
+                           static_cast<double>(seg.retries()));
+            m.emplace_back("spawns", static_cast<double>(s.spawns));
+            m.emplace_back("timeout_kills",
+                           static_cast<double>(s.timeoutKills));
+            m.emplace_back("crashes", static_cast<double>(s.crashes));
+            opts.ledger->append(rec);
+        }
+    }
+
     if (interrupted) {
         if (opts.ledger) {
             obs::RunRecord rec;
@@ -681,6 +947,10 @@ runShardedSweep(const SweepRunnerOptions &opts,
             rec.rule = stop_sig == SIGINT ? "SIGINT" : "SIGTERM";
             opts.ledger->append(rec);
         }
+        obs::tracer().instant("sweep.interrupted", "shard",
+                              obs::tracer().wallUs(), {},
+                              obs::Track::Host);
+        writeStatus("interrupted");
         capart_inform("sweep interrupted: merged "
                       << merged.records.size()
                       << " completed record(s); resume with --resume");
@@ -688,6 +958,8 @@ runShardedSweep(const SweepRunnerOptions &opts,
         // standard 128+signal code tells callers what stopped us.
         std::exit(128 + stop_sig);
     }
+
+    writeStatus("complete");
 
     // ---- assemble results in spec order -----------------------------
     std::vector<SweepResult> results(specs.size());

@@ -206,6 +206,37 @@ struct SweepRunnerOptions
      *  supervisor terminates shards, merges what completed, marks the
      *  run interrupted, and exits. nullptr disables. */
     const volatile std::sig_atomic_t *stopFlag = nullptr;
+
+    // ---- live status plane (observability output only) --------------
+
+    /**
+     * Path of the supervisor's live `status.json` (see
+     * src/obs/status.hh): atomically replaced every ~statusPeriodS
+     * while the sweep runs and once more (state "complete" or
+     * "interrupted") after the merge. Empty — or observability
+     * disabled — writes nothing. Output-only: nothing reads it back,
+     * so it cannot perturb results.
+     */
+    std::string statusPath;
+    /** Path of the Prometheus text exposition file, refreshed on the
+     *  same cadence; empty disables. */
+    std::string promPath;
+    /** Minimum seconds between status/prom refreshes. */
+    double statusPeriodS = 0.5;
+    /**
+     * The *base* `--metrics-out` path workers derive their
+     * per-shard `<base>.shard-<k>` files from (see bench/bench_common);
+     * the supervisor folds those files' counters into the prom
+     * exposition as `capart_worker_*{shard="k"}` samples. Empty skips
+     * worker-counter collection.
+     */
+    std::string workerMetricsBase;
+    /** Worker mode only: write this process's Chrome trace here when
+     *  the worker loop exits (workers without an atexit exporter —
+     *  e.g. the test harness — still feed trace stitching). Empty
+     *  disables; bench workers leave it empty and export through
+     *  their normal atexit path instead. */
+    std::string workerTraceOut;
 };
 
 /**

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "obs/status.hh"
+
 namespace capart::obs
 {
 
@@ -221,6 +223,31 @@ MetricsRegistry::writeCsv(std::ostream &os) const
             os << "histogram," << name << ",le_"
                << Histogram::bucketBound(i) << "," << n << "\n";
         }
+    }
+}
+
+void
+MetricsRegistry::writeProm(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, c] : counters_) {
+        const std::string n = "capart_" + promSanitize(name) + "_total";
+        os << "# TYPE " << n << " counter\n";
+        os << n << ' ' << c->value() << '\n';
+    }
+    for (const auto &[name, g] : gauges_) {
+        const std::string n = "capart_" + promSanitize(name);
+        os << "# TYPE " << n << " gauge\n";
+        os << n << ' ' << g->value() << '\n';
+    }
+    for (const auto &[name, h] : histograms_) {
+        const std::string n = "capart_" + promSanitize(name);
+        os << "# TYPE " << n << " summary\n";
+        os << n << "{quantile=\"0.5\"} " << h->percentile(0.50) << '\n';
+        os << n << "{quantile=\"0.9\"} " << h->percentile(0.90) << '\n';
+        os << n << "{quantile=\"0.99\"} " << h->percentile(0.99) << '\n';
+        os << n << "_sum " << h->sum() << '\n';
+        os << n << "_count " << h->count() << '\n';
     }
 }
 

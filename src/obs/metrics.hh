@@ -180,6 +180,15 @@ class MetricsRegistry
     void writeCsv(std::ostream &os) const;
 
     /**
+     * Prometheus text exposition: counters as `capart_<name>_total`,
+     * gauges as `capart_<name>`, histograms as summaries (quantile
+     * samples at 0.5/0.9/0.99 plus `_sum` and `_count`). Names are
+     * sanitized to the exposition charset; each family is preceded by
+     * a `# TYPE` line. Consumed by obs::writePromFile (--prom-out).
+     */
+    void writeProm(std::ostream &os) const;
+
+    /**
      * Snapshot of every counter as (name, value) in export order —
      * what the run ledger embeds in bench records. Values ride as
      * doubles (exact below 2^53, far beyond any real counter).

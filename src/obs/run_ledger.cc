@@ -164,7 +164,7 @@ RunLedger::decode(const std::string &line, RunRecord *out)
     if (rec.kind != "point" && rec.kind != "bench" &&
         rec.kind != "decision" && rec.kind != "npartition_decision" &&
         rec.kind != "point_start" && rec.kind != "point_failed" &&
-        rec.kind != "run_interrupted")
+        rec.kind != "run_interrupted" && rec.kind != "shard")
         return false;
     *out = std::move(rec);
     return true;

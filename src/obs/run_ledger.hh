@@ -3,7 +3,7 @@
  * Append-only JSONL run ledger: the durable record every experiment
  * run leaves behind.
  *
- * One ledger is one file of newline-delimited JSON records. Seven
+ * One ledger is one file of newline-delimited JSON records. Eight
  * kinds of record exist:
  *
  *  - `point`  — one @ref capart::exec::SweepRunner sweep point: the
@@ -32,7 +32,13 @@
  *    every retry; `rule` carries the reason ("crash", "timeout",
  *    "shard_failed"), the metric map the attempt count;
  *  - `run_interrupted` — the run was stopped by SIGTERM/SIGINT after
- *    flushing everything completed so far; `rule` names the signal.
+ *    flushing everything completed so far; `rule` names the signal;
+ *  - `shard` — one supervised shard's lifetime summary, appended by
+ *    the shard supervisor after the segment merge: shard index, wall
+ *    time, and the fleet counters (points done / from-cache /
+ *    quarantined, retries, spawns, timeout kills, crashes) in the
+ *    metric map. The report layer renders these as the per-shard
+ *    table.
  *
  * Records carry a `run` id (bench + seed + start timestamp) so a single
  * growing ledger holds the full trajectory of repeated runs; the report
@@ -67,8 +73,9 @@ struct RunRecord
     /** "point" (sweep point), "bench" (binary invocation), "decision"
      *  (one partitioner control decision), "npartition_decision" (one
      *  N-app Partitioner decision), "point_start" (shard worker
-     *  liveness), "point_failed" (quarantined point), or
-     *  "run_interrupted" (signal-terminated run). */
+     *  liveness), "point_failed" (quarantined point),
+     *  "run_interrupted" (signal-terminated run), or "shard" (one
+     *  supervised shard's lifetime summary). */
     std::string kind = "point";
     /** Bench the record belongs to (e.g. "fig13_dynamic"). */
     std::string bench;

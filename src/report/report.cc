@@ -8,6 +8,7 @@
 #include <ostream>
 
 #include "common/json.hh"
+#include "obs/status.hh"
 #include "stats/summary.hh"
 
 namespace capart::report
@@ -82,6 +83,8 @@ groupRuns(const std::vector<obs::RunRecord> &records)
             g->failures.push_back(rec);
         else if (rec.kind == "run_interrupted")
             g->interruptions.push_back(rec);
+        else if (rec.kind == "shard")
+            g->shards.push_back(rec);
         else if (rec.kind == "point")
             g->points.push_back(rec);
         // Anything else (point_start, future kinds) is dropped: only
@@ -336,6 +339,49 @@ writeMarkdown(std::ostream &os, const std::vector<RunGroup> &groups,
         }
     }
 
+    // A sharded sweep's per-shard summary: where the wall time went,
+    // which shard burned retries or ate SIGKILLs. Sorted by shard
+    // index so the table is deterministic regardless of merge order.
+    bool have_shards = false;
+    for (const RunGroup &g : groups) {
+        std::vector<const obs::RunRecord *> shard_recs;
+        for (const obs::RunRecord &rec : g.shards)
+            shard_recs.push_back(&rec);
+        std::sort(shard_recs.begin(), shard_recs.end(),
+                  [](const obs::RunRecord *a, const obs::RunRecord *b) {
+                      return a->metric("shard") < b->metric("shard");
+                  });
+        for (const obs::RunRecord *rec : shard_recs) {
+            if (!have_shards) {
+                have_shards = true;
+                os << "\n### Shards\n\n";
+                os << "| run | shard | wall (s) | computed | cached | "
+                      "retries | quarantined | timeout kills | crashes "
+                      "|\n";
+                os << "|---|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+            }
+            const std::uint64_t done =
+                static_cast<std::uint64_t>(rec->metric("points_done"));
+            const std::uint64_t cached = static_cast<std::uint64_t>(
+                rec->metric("points_from_cache"));
+            os << "| " << g.run << " | "
+               << static_cast<unsigned>(rec->metric("shard")) << " | "
+               << formatDouble(rec->wallMs / 1000.0, "%.2f") << " | "
+               << (done - std::min(done, cached)) << " | " << cached
+               << " | "
+               << static_cast<std::uint64_t>(rec->metric("retries"))
+               << " | "
+               << static_cast<std::uint64_t>(
+                      rec->metric("points_quarantined"))
+               << " | "
+               << static_cast<std::uint64_t>(
+                      rec->metric("timeout_kills"))
+               << " | "
+               << static_cast<std::uint64_t>(rec->metric("crashes"))
+               << " |\n";
+        }
+    }
+
     if (!cmp)
         return;
 
@@ -405,6 +451,36 @@ writeMarkdown(std::ostream &os, const std::vector<RunGroup> &groups,
                    << " journaled N-app policy decision(s)";
         }
         os << "\n";
+    }
+}
+
+void
+writeStatusMarkdown(std::ostream &os, const obs::SweepStatus &status)
+{
+    os << "\n## Sweep status\n\n";
+    os << "`" << status.bench << "` run `"
+       << (status.run.empty() ? "-" : status.run) << "` — **"
+       << status.state << "** with " << status.shards << " shard(s): "
+       << status.pointsDone << "/" << status.pointsTotal
+       << " points done (" << status.pointsFromCache << " cached, "
+       << status.pointsQuarantined << " quarantined, " << status.retries
+       << " retries)";
+    if (status.throughputPointsPerMin > 0.0)
+        os << ", " << formatDouble(status.throughputPointsPerMin, "%.1f")
+           << " points/min";
+    if (status.pointsDone > 0)
+        os << ", cache-hit rate "
+           << formatDouble(status.cacheHitRate * 100.0, "%.0f") << "%";
+    os << ".\n\n";
+    os << "| shard | state | done | cached | quarantined | retries | "
+          "spawns | timeout kills | crashes |\n";
+    os << "|---:|---|---:|---:|---:|---:|---:|---:|---:|\n";
+    for (const obs::ShardStatus &sh : status.shardStates) {
+        os << "| " << sh.shard << " | " << sh.state << " | "
+           << sh.pointsDone << "/" << sh.pointsAssigned << " | "
+           << sh.pointsFromCache << " | " << sh.pointsQuarantined
+           << " | " << sh.retries << " | " << sh.spawns << " | "
+           << sh.timeoutKills << " | " << sh.crashes << " |\n";
     }
 }
 

@@ -33,6 +33,11 @@
 
 #include "obs/run_ledger.hh"
 
+namespace capart::obs
+{
+struct SweepStatus;
+}
+
 namespace capart::report
 {
 
@@ -58,6 +63,12 @@ struct RunGroup
     /** `run_interrupted` records: the run was stopped by a signal
      *  after flushing what completed. Flags the run as partial. */
     std::vector<obs::RunRecord> interruptions;
+    /** `shard` records: one per supervised shard of a --shards sweep,
+     *  carrying the shard's wall time and fleet counters (points done
+     *  / from-cache / quarantined, retries, timeout kills, crashes).
+     *  Rendered as the per-shard markdown table; never paired as
+     *  points. */
+    std::vector<obs::RunRecord> shards;
 
     /** Points replayed from the memoization cache. */
     std::size_t cachedPoints() const;
@@ -177,6 +188,14 @@ RunComparison compareRuns(const RunGroup &baseline, const RunGroup &current,
  */
 void writeMarkdown(std::ostream &os, const std::vector<RunGroup> &groups,
                    const RunComparison *cmp, const GateOptions &gate);
+
+/**
+ * Append a "## Sweep status" markdown section rendering @p status —
+ * the final `status.json` snapshot of a sharded sweep (see
+ * src/obs/status.hh): sweep state and totals plus the per-shard
+ * table. bench_report emits this when given --status=F.
+ */
+void writeStatusMarkdown(std::ostream &os, const obs::SweepStatus &status);
 
 } // namespace capart::report
 

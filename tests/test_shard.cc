@@ -15,6 +15,14 @@
  * sweep instead of running gtest. Chaos (crash-on-point, quarantine,
  * resume fast-forward) is injected through the CAPART_CHAOS_*
  * environment exactly as the chaos CI job does with bench binaries.
+ *
+ * The ShardStatus tests additionally arm the live status plane
+ * (obs/status.hh): the final status.json must agree exactly with the
+ * ledger segments the merge reads, quarantines must reach the
+ * snapshot, worker traces must stitch with the supervisor's lifecycle
+ * instants into one well-formed timeline, and — the non-perturbation
+ * contract — chaos-armed results with the plane on must stay
+ * bit-identical to a plain in-process run.
  */
 
 #include <gtest/gtest.h>
@@ -24,15 +32,22 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/json.hh"
 #include "exec/experiment_spec.hh"
 #include "exec/result_cache.hh"
 #include "exec/shard_supervisor.hh"
 #include "exec/sweep_runner.hh"
+#include "obs/obs.hh"
 #include "obs/run_ledger.hh"
+#include "obs/status.hh"
+#include "obs/trace.hh"
+#include "obs/trace_stitch.hh"
 
 namespace capart::exec
 {
@@ -616,6 +631,242 @@ TEST(ShardSweep, ResumeFastForwardsWithoutRecomputing)
     std::filesystem::remove_all(dir);
 }
 
+// ---------------------------------------------- live status plane --
+
+/** Arm the runtime obs switch for one test body. */
+class ObsEnabledGuard
+{
+  public:
+    ObsEnabledGuard() { obs::setEnabled(true); }
+    ~ObsEnabledGuard() { obs::setEnabled(false); }
+};
+
+#define SKIP_WITHOUT_OBS()                                                 \
+    do {                                                                   \
+        if (!obs::kCompiledIn)                                             \
+            GTEST_SKIP() << "observability compiled out (CAPART_OBS=OFF)"; \
+    } while (0)
+
+/** Segment-derived retry count: point_start records beyond each
+ *  spec's first, summed across @p segment paths — the ground truth
+ *  the status plane must agree with. */
+std::uint64_t
+segmentRetries(const std::vector<std::string> &segments)
+{
+    std::uint64_t retries = 0;
+    for (const std::string &path : segments) {
+        std::map<std::uint64_t, std::uint64_t> starts;
+        for (const obs::RunRecord &r : obs::RunLedger::load(path).records)
+            if (r.kind == "point_start")
+                ++starts[r.specHash];
+        for (const auto &[hash, n] : starts)
+            retries += n > 0 ? n - 1 : 0;
+    }
+    return retries;
+}
+
+std::vector<std::string>
+segmentPaths(const std::string &dir, unsigned shards)
+{
+    std::vector<std::string> segs;
+    for (unsigned k = 0; k < shards; ++k)
+        segs.push_back(dir + "/" + kShardBench + "-shard-" +
+                       std::to_string(k) + ".seg.jsonl");
+    return segs;
+}
+
+TEST(ShardStatus, ChaosArmedSweepMatchesLedgerAndStaysBitExact)
+{
+    SKIP_WITHOUT_OBS();
+    const std::vector<ExperimentSpec> specs = testSpecs();
+    const std::vector<SweepResult> &expected = expectedResults();
+
+    const std::string dir = freshDir("capart_shard_status");
+    // Even-hash points crash their worker once: the plane must report
+    // the retries — and the results must stay bit-identical to the
+    // plane-off (plain in-process) run, or observability perturbed the
+    // simulation.
+    const EnvGuard env({{"CAPART_SHARD_BACKOFF_MS", "20"},
+                        {"CAPART_CHAOS_CRASH_MOD", "2"}});
+    const ObsEnabledGuard obs_on;
+    obs::tracer().clear();
+    SweepRunnerOptions o = supervisorOptions(dir);
+    o.shards = 4;
+    o.statusPath = dir + "/status.json";
+    o.promPath = dir + "/metrics.prom";
+    o.statusPeriodS = 0.05;
+    o.workerCmd = {selfExe(), "--worker-trace=" + dir + "/trace"};
+    obs::RunLedger canonical(dir + "/canonical.jsonl");
+    o.ledger = &canonical;
+    const std::vector<SweepResult> got = SweepRunner(o).run(specs);
+
+    ASSERT_EQ(got.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_FALSE(got[i].failed) << i;
+        EXPECT_TRUE(sameResult(expected[i], got[i])) << i;
+    }
+
+    // The final status snapshot agrees with the ledger segments — the
+    // same files the merge derives the canonical record set from.
+    obs::SweepStatus s;
+    ASSERT_TRUE(obs::readStatusFile(dir + "/status.json", &s));
+    EXPECT_EQ(s.state, "complete");
+    EXPECT_EQ(s.bench, kShardBench);
+    EXPECT_EQ(s.shards, 4u);
+    EXPECT_EQ(s.pointsTotal, specs.size());
+    EXPECT_EQ(s.pointsDone, specs.size());
+    EXPECT_EQ(s.pointsQuarantined, 0u);
+    EXPECT_EQ(s.retries, segmentRetries(segmentPaths(dir, 4)));
+    EXPECT_GT(s.retries, 0u) << "chaos crashed no point";
+    ASSERT_EQ(s.shardStates.size(), 4u);
+    std::uint64_t per_shard_done = 0;
+    for (const obs::ShardStatus &sh : s.shardStates) {
+        per_shard_done += sh.pointsDone;
+        EXPECT_TRUE(sh.state == "settled" || sh.state == "idle")
+            << sh.shard << " " << sh.state;
+        EXPECT_EQ(sh.pointsDone, sh.pointsAssigned) << sh.shard;
+    }
+    EXPECT_EQ(per_shard_done, specs.size());
+
+    // The prom exposition was refreshed on the same cadence.
+    {
+        std::ifstream is(dir + "/metrics.prom");
+        ASSERT_TRUE(is.good());
+        std::ostringstream text;
+        text << is.rdbuf();
+        EXPECT_NE(text.str().find("capart_sweep_points_done 6"),
+                  std::string::npos)
+            << text.str();
+        EXPECT_NE(text.str().find("capart_shard_points_done{shard=\"0\"}"),
+                  std::string::npos);
+    }
+
+    // The canonical ledger carries one `shard` summary record per
+    // shard, agreeing with the status plane.
+    const auto loaded = obs::RunLedger::load(dir + "/canonical.jsonl");
+    std::uint64_t shard_recs = 0;
+    std::uint64_t rec_done = 0;
+    std::uint64_t rec_retries = 0;
+    for (const obs::RunRecord &r : loaded.records) {
+        if (r.kind != "shard")
+            continue;
+        ++shard_recs;
+        rec_done += static_cast<std::uint64_t>(r.metric("points_done"));
+        rec_retries += static_cast<std::uint64_t>(r.metric("retries"));
+        EXPECT_GT(r.metric("spawns"), 0.0);
+    }
+    EXPECT_EQ(shard_recs, 4u);
+    EXPECT_EQ(rec_done, specs.size());
+    EXPECT_EQ(rec_retries, s.retries);
+
+    // Worker traces stitch with the supervisor's lifecycle instants
+    // into one well-formed timeline: unique pids per source process,
+    // globally sorted timestamps, spawn instants present.
+    {
+        std::ofstream sup(dir + "/trace.supervisor");
+        obs::tracer().writeChromeTrace(sup);
+    }
+    std::vector<obs::StitchSource> sources = {
+        {dir + "/trace.supervisor", "supervisor"}};
+    for (unsigned k = 0; k < 4; ++k)
+        sources.push_back({dir + "/trace.shard-" + std::to_string(k),
+                           "shard " + std::to_string(k)});
+    obs::StitchStats stats;
+    ASSERT_TRUE(obs::stitchTraceFiles(sources, dir + "/trace", &stats));
+    EXPECT_GE(stats.sourcesRead, 2u); // supervisor + >=1 worker
+    EXPECT_EQ(stats.sourcesMalformed, 0u);
+
+    std::ifstream is(dir + "/trace");
+    std::ostringstream text;
+    text << is.rdbuf();
+    const auto doc = Json::parse(text.str());
+    ASSERT_TRUE(doc && doc->isObj());
+    const Json &events = doc->at("traceEvents");
+    ASSERT_TRUE(events.isArr());
+    bool saw_spawn = false;
+    double last_ts = -1.0;
+    std::map<double, unsigned> events_per_pid;
+    for (const Json &e : events.arr) {
+        if (e.at("ph").asStr() == "M")
+            continue;
+        const double ts = e.at("ts").asNum(-1);
+        EXPECT_GE(ts, last_ts);
+        last_ts = ts;
+        ++events_per_pid[e.at("pid").asNum(-1)];
+        if (e.at("name").asStr() == "shard.spawn") {
+            saw_spawn = true;
+            // Supervisor instants live on its host-clock track (pid 2).
+            EXPECT_EQ(e.at("pid").asNum(), 2.0);
+        }
+    }
+    EXPECT_TRUE(saw_spawn);
+    EXPECT_EQ(doc->at("metadata").at("stitched_sources").asNum(),
+              static_cast<double>(stats.sourcesRead));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardStatus, QuarantinesAndCrashCountsReachTheFinalSnapshot)
+{
+    SKIP_WITHOUT_OBS();
+    const std::vector<ExperimentSpec> specs = testSpecs();
+
+    const std::string dir = freshDir("capart_shard_status_quar");
+    // Even-hash points crash on EVERY attempt → quarantine. The final
+    // snapshot must account for every point as done or quarantined and
+    // agree with the canonical ledger's point_failed records.
+    const EnvGuard env({{"CAPART_SHARD_BACKOFF_MS", "20"},
+                        {"CAPART_CHAOS_CRASH_MOD", "2"},
+                        {"CAPART_CHAOS_CRASH_ATTEMPTS", "99"}});
+    const ObsEnabledGuard obs_on;
+    SweepRunnerOptions o = supervisorOptions(dir);
+    o.shards = 4;
+    o.statusPath = dir + "/status.json";
+    obs::RunLedger canonical(dir + "/canonical.jsonl");
+    o.ledger = &canonical;
+    const std::vector<SweepResult> got = SweepRunner(o).run(specs);
+    ASSERT_EQ(got.size(), specs.size());
+
+    std::uint64_t failed_recs = 0;
+    for (const obs::RunRecord &r :
+         obs::RunLedger::load(dir + "/canonical.jsonl").records)
+        if (r.kind == "point_failed")
+            ++failed_recs;
+    ASSERT_GT(failed_recs, 0u);
+
+    obs::SweepStatus s;
+    ASSERT_TRUE(obs::readStatusFile(dir + "/status.json", &s));
+    EXPECT_EQ(s.state, "complete");
+    EXPECT_EQ(s.pointsQuarantined, failed_recs);
+    EXPECT_EQ(s.pointsDone + s.pointsQuarantined, specs.size());
+    std::uint64_t crashes = 0;
+    std::uint64_t per_shard_quar = 0;
+    for (const obs::ShardStatus &sh : s.shardStates) {
+        crashes += sh.crashes;
+        per_shard_quar += sh.pointsQuarantined;
+    }
+    EXPECT_EQ(per_shard_quar, failed_recs);
+    EXPECT_GT(crashes, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardStatus, PlaneOffWritesNothing)
+{
+    const std::vector<ExperimentSpec> specs = testSpecs();
+
+    const std::string dir = freshDir("capart_shard_status_off");
+    // Paths set but the runtime obs switch off (or the whole layer
+    // compiled out): the run must not create the files.
+    const EnvGuard env({{"CAPART_SHARD_BACKOFF_MS", "20"}});
+    SweepRunnerOptions o = supervisorOptions(dir);
+    o.statusPath = dir + "/status.json";
+    o.promPath = dir + "/metrics.prom";
+    const std::vector<SweepResult> got = SweepRunner(o).run(specs);
+    ASSERT_EQ(got.size(), specs.size());
+    EXPECT_FALSE(std::filesystem::exists(dir + "/status.json"));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/metrics.prom"));
+    std::filesystem::remove_all(dir);
+}
+
 } // namespace
 } // namespace capart::exec
 
@@ -631,6 +882,7 @@ main(int argc, char **argv)
     unsigned shards = 0;
     std::string ledger_dir;
     std::string cache_path;
+    std::string worker_trace;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a.rfind("--shard-worker=", 0) == 0)
@@ -642,6 +894,8 @@ main(int argc, char **argv)
             ledger_dir = a.substr(13);
         else if (a.rfind("--cache-path=", 0) == 0)
             cache_path = a.substr(13);
+        else if (a.rfind("--worker-trace=", 0) == 0)
+            worker_trace = a.substr(15);
     }
     if (worker >= 0 && shards > 0) {
         using namespace capart::exec;
@@ -653,6 +907,13 @@ main(int argc, char **argv)
         o.shardWorker = worker;
         o.ledgerDir = ledger_dir;
         o.cachePath = cache_path;
+        if (!worker_trace.empty()) {
+            // Per-shard trace export, the bench_common `.shard-<k>`
+            // convention: the status-plane tests stitch these.
+            capart::obs::setEnabled(true);
+            o.workerTraceOut =
+                worker_trace + ".shard-" + std::to_string(worker);
+        }
         SweepRunner(o).run(testSpecs()); // exits; never returns
     }
     ::testing::InitGoogleTest(&argc, argv);
